@@ -1,0 +1,54 @@
+// E5 — Theorems 6 & 8: O(lg^2 n) expected amortized work per edge update.
+// Measures per-edge amortized time of a full insert-everything /
+// delete-everything lifecycle as n grows; the series should grow
+// polylogarithmically (roughly quadrupling lg-squared shape), not linearly.
+// The sequential HDT baseline is run on the same stream for reference.
+#include "bench_common.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "hdt/hdt_connectivity.hpp"
+
+using namespace bdc;
+
+int main() {
+  bench::print_header(
+      "E5 bench_amortized_update",
+      "amortized cost per edge update is O(lg^2 n): the us/edge column "
+      "should grow ~ (lg n)^2, i.e. slowly, with n");
+  bench::print_row({"structure", "n", "m", "batch", "total_sec",
+                    "us_per_edge"});
+  for (int logn : {10, 12, 14}) {
+    const vertex_id n = vertex_id{1} << logn;
+    const size_t m = 4 * static_cast<size_t>(n);
+    const size_t batch = 1024;
+    auto graph = gen_erdos_renyi(n, m, 10 + logn);
+    auto stream = make_deletion_stream(graph, n, batch, batch, 0, 20 + logn);
+
+    {
+      batch_dynamic_connectivity dc(n);
+      timer t;
+      for (const auto& b : stream) {
+        if (b.op == update_batch::kind::insert) dc.batch_insert(b.edges);
+        if (b.op == update_batch::kind::erase) dc.batch_delete(b.edges);
+      }
+      double sec = t.elapsed();
+      bench::print_row({"parallel", std::to_string(n), std::to_string(m),
+                        std::to_string(batch), bench::fmt(sec),
+                        bench::fmt(sec / (2.0 * m) * 1e6, "%.2f")});
+    }
+    {
+      hdt_connectivity hdt(n);
+      timer t;
+      for (const auto& b : stream) {
+        if (b.op == update_batch::kind::insert) hdt.batch_insert(b.edges);
+        if (b.op == update_batch::kind::erase) hdt.batch_delete(b.edges);
+      }
+      double sec = t.elapsed();
+      bench::print_row({"hdt", std::to_string(n), std::to_string(m),
+                        std::to_string(batch), bench::fmt(sec),
+                        bench::fmt(sec / (2.0 * m) * 1e6, "%.2f")});
+    }
+  }
+  return 0;
+}

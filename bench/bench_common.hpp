@@ -1,0 +1,50 @@
+// Shared helpers for the series-style experiment binaries (E4-E9, E11):
+// a tiny CSV printer and median-of-repetitions timing. Each binary prints
+// its experiment id, the paper claim it probes, and a CSV table whose
+// shape EXPERIMENTS.md interprets.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace bdc::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("# %s\n", experiment);
+  std::printf("# claim: %s\n", claim);
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i)
+    std::printf("%s%s", i ? "," : "", cells[i].c_str());
+  std::printf("\n");
+}
+
+/// Median wall-clock seconds of `reps` runs of f (each run gets a fresh
+/// setup from `make_state`, untimed).
+template <typename Setup, typename Run>
+double median_time(int reps, const Setup& make_state, const Run& f) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    auto state = make_state(r);
+    timer t;
+    f(*state);
+    times.push_back(t.elapsed());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline std::string fmt(double v, const char* spec = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace bdc::bench

@@ -1,0 +1,78 @@
+// E4 — Theorems 5 & 7: deletion depth of Algorithm 4 (simple, O(lg^4 n))
+// vs Algorithm 5 (interleaved, O(lg^3 n)). The depth proxy is the count of
+// oracle phases (edge-fetch rounds) per level search, which is exactly the
+// quantity the two theorems bound differently; wall time is reported too.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+
+using namespace bdc;
+
+namespace {
+
+struct run_result {
+  double seconds;
+  statistics stats;
+};
+
+run_result run_engine(level_search_kind kind, vertex_id n,
+                      const std::vector<edge>& graph,
+                      const update_stream& stream) {
+  options o;
+  o.search = kind;
+  batch_dynamic_connectivity dc(n, o);
+  (void)graph;
+  timer t;
+  double delete_time = 0;
+  for (const auto& b : stream) {
+    if (b.op == update_batch::kind::insert) {
+      dc.batch_insert(b.edges);
+      dc.reset_stats();
+      t.reset();
+    } else if (b.op == update_batch::kind::erase) {
+      t.reset();
+      dc.batch_delete(b.edges);
+      delete_time += t.elapsed();
+    }
+  }
+  return {delete_time, dc.stats()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E4 bench_delete_algos",
+      "Alg5 (interleaved) needs O(lg n) oracle phases per level vs "
+      "O(lg^2 n) for Alg4 (simple); depth O(lg^3) vs O(lg^4)");
+  bench::print_row({"engine", "n", "batch", "delete_sec", "levels",
+                    "rounds", "phases", "phases_per_level",
+                    "edges_fetched", "edges_pushed"});
+  const vertex_id n = 1 << 13;
+  const size_t m = 4 * static_cast<size_t>(n);
+  auto graph = gen_erdos_renyi(n, m, 1);
+  for (size_t batch : {64u, 512u, 4096u}) {
+    auto stream = make_deletion_stream(graph, n, 4096, batch, 0, 2);
+    for (auto [kind, name] :
+         {std::pair{level_search_kind::simple, "simple"},
+          std::pair{level_search_kind::interleaved, "interleaved"}}) {
+      auto r = run_engine(kind, n, graph, stream);
+      double ppl = r.stats.levels_searched
+                       ? static_cast<double>(r.stats.doubling_phases) /
+                             static_cast<double>(r.stats.levels_searched)
+                       : 0.0;
+      bench::print_row({name, std::to_string(n), std::to_string(batch),
+                        bench::fmt(r.seconds),
+                        std::to_string(r.stats.levels_searched),
+                        std::to_string(r.stats.search_rounds),
+                        std::to_string(r.stats.doubling_phases),
+                        bench::fmt(ppl, "%.2f"),
+                        std::to_string(r.stats.edges_fetched),
+                        std::to_string(r.stats.edges_pushed)});
+    }
+  }
+  return 0;
+}

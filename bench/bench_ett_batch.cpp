@@ -1,0 +1,75 @@
+// E1 — Theorem 2: batch-parallel ETT operations cost O(k lg(1 + n/k))
+// expected work per batch of k. Per-edge time should FALL as k grows at
+// fixed n (the lg(1+n/k) factor shrinks), for links+cuts, connectivity
+// queries, and representative queries.
+#include <benchmark/benchmark.h>
+
+#include "ett/euler_tour_tree.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "util/random.hpp"
+
+using namespace bdc;
+
+namespace {
+constexpr vertex_id kN = 1 << 15;
+}
+
+static void BM_EttLinkCut(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  euler_tour_forest f(kN, 1);
+  // A fixed forest batch: k edges of a random forest (always linkable).
+  auto forest_edges = gen_random_forest(kN, kN / 2 >= k ? kN - k : 1, 2);
+  forest_edges.resize(std::min(forest_edges.size(), k));
+  std::span<const edge> batch(forest_edges.data(), forest_edges.size());
+  for (auto _ : state) {
+    f.batch_link(batch);
+    f.batch_cut(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(2 * batch.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_EttLinkCut)->Arg(1)->Arg(16)->Arg(256)->Arg(4096)->Arg(16384);
+
+static void BM_EttBatchConnected(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  euler_tour_forest f(kN, 3);
+  f.batch_link(gen_random_forest(kN, 16, 4));
+  auto qs = make_query_batch(kN, k, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.batch_connected(qs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k) * state.iterations());
+}
+BENCHMARK(BM_EttBatchConnected)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536);
+
+static void BM_EttBatchFindRep(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  euler_tour_forest f(kN, 6);
+  f.batch_link(gen_random_forest(kN, 16, 7));
+  bdc::random r(8);
+  std::vector<vertex_id> vs(k);
+  for (size_t i = 0; i < k; ++i)
+    vs[i] = static_cast<vertex_id>(r.ith_rand(i, kN));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.batch_find_rep(vs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k) * state.iterations());
+}
+BENCHMARK(BM_EttBatchFindRep)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+static void BM_EttComponentCounts(benchmark::State& state) {
+  euler_tour_forest f(kN, 9);
+  f.batch_link(gen_random_tree(kN, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.component_counts(123));
+  }
+}
+BENCHMARK(BM_EttComponentCounts);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// E11 — insertion-only comparison against the restricted-setting baseline
+// (incremental union-find after Simsiri et al. [57], paper §1): on
+// insert-only streams the specialized structure is far cheaper; the fully
+// dynamic structure pays its polylog overhead for deletion capability it
+// is not using here.
+#include "bench_common.hpp"
+#include "baselines/incremental_connectivity.hpp"
+#include "baselines/static_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+
+using namespace bdc;
+
+int main() {
+  bench::print_header(
+      "E11 bench_incremental",
+      "on insert-only streams the incremental union-find baseline wins; "
+      "the fully dynamic structure pays polylog overhead");
+  bench::print_row(
+      {"structure", "n", "m", "batch", "total_sec", "us_per_edge"});
+  const vertex_id n = 1 << 15;
+  const size_t m = 6 * static_cast<size_t>(n);
+  auto graph = gen_erdos_renyi(n, m, 11);
+
+  for (size_t batch : {256u, 4096u}) {
+    auto stream = make_insertion_stream(graph, batch, 12);
+    {
+      incremental_connectivity inc(n);
+      timer t;
+      for (const auto& b : stream) inc.batch_insert(b.edges);
+      double sec = t.elapsed();
+      bench::print_row({"incremental_uf", std::to_string(n),
+                        std::to_string(m), std::to_string(batch),
+                        bench::fmt(sec),
+                        bench::fmt(sec / static_cast<double>(m) * 1e6,
+                                   "%.3f")});
+    }
+    {
+      batch_dynamic_connectivity dc(n);
+      timer t;
+      for (const auto& b : stream) dc.batch_insert(b.edges);
+      double sec = t.elapsed();
+      bench::print_row({"batch_dynamic", std::to_string(n),
+                        std::to_string(m), std::to_string(batch),
+                        bench::fmt(sec),
+                        bench::fmt(sec / static_cast<double>(m) * 1e6,
+                                   "%.3f")});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E3 — Theorem 4: a batch of k insertions costs O(k lg(1 + n/k)) expected
+// work and O(lg n) depth. Per-edge insertion time should fall with k at
+// fixed n. Uses manual timing: each iteration inserts a fresh copy of the
+// graph in batches of k into a freshly built structure (construction
+// untimed).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "util/timer.hpp"
+
+using namespace bdc;
+
+namespace {
+constexpr vertex_id kN = 1 << 14;
+constexpr size_t kM = 2 * static_cast<size_t>(kN);
+}  // namespace
+
+static void BM_BatchInsert(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  auto graph = gen_erdos_renyi(kN, kM, 31);
+  auto stream = make_insertion_stream(graph, k, 32);
+  for (auto _ : state) {
+    auto dc = std::make_unique<batch_dynamic_connectivity>(kN);
+    timer t;
+    for (const auto& b : stream) dc->batch_insert(b.edges);
+    state.SetIterationTime(t.elapsed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kM) * state.iterations());
+}
+BENCHMARK(BM_BatchInsert)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_InsertConnectedComponentsMix(benchmark::State& state) {
+  // Mixed insert + query epochs (a common ingest pattern).
+  auto graph = gen_rmat(kN, kM, 33);
+  auto stream = make_insertion_stream(graph, 2048, 34);
+  auto qs = make_query_batch(kN, 1024, 35);
+  for (auto _ : state) {
+    auto dc = std::make_unique<batch_dynamic_connectivity>(kN);
+    timer t;
+    for (const auto& b : stream) {
+      dc->batch_insert(b.edges);
+      benchmark::DoNotOptimize(dc->batch_connected(qs));
+    }
+    state.SetIterationTime(t.elapsed());
+  }
+}
+BENCHMARK(BM_InsertConnectedComponentsMix)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E12 — §6 extension: batch-incremental minimum spanning forest via
+// path-maximum exchanges on link-cut trees. Two shapes to verify:
+// (a) per-edge insertion cost is O(lg n)-ish — flat-ish as m grows;
+// (b) maintaining the MSF incrementally beats recomputing Kruskal from
+//     scratch per batch once batches are small relative to m.
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "msf/incremental_msf.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+using namespace bdc;
+
+namespace {
+
+std::vector<weighted_edge> weighted(const std::vector<edge>& es,
+                                    uint64_t seed) {
+  bdc::random r(seed);
+  std::vector<weighted_edge> out(es.size());
+  for (size_t i = 0; i < es.size(); ++i)
+    out[i] = {es[i], 1 + r.ith_rand(i, 1'000'000)};
+  return out;
+}
+
+uint64_t kruskal(vertex_id n, std::vector<weighted_edge> es) {
+  std::sort(es.begin(), es.end(),
+            [](const weighted_edge& a, const weighted_edge& b) {
+              return a.weight < b.weight;
+            });
+  union_find uf(n);
+  uint64_t total = 0;
+  for (auto& we : es)
+    if (uf.unite(we.e.u, we.e.v)) total += we.weight;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E12 bench_msf",
+      "incremental MSF (LCT path-max exchange) sustains O(lg n) per edge "
+      "and beats per-batch Kruskal recompute for small batches");
+  bench::print_row({"approach", "n", "m", "batch", "total_sec",
+                    "us_per_edge", "msf_weight"});
+  const vertex_id n = 1 << 13;
+  const size_t m = 6 * static_cast<size_t>(n);
+  auto graph = weighted(gen_erdos_renyi(n, m, 13), 14);
+
+  for (size_t batch : {64u, 1024u, 16384u}) {
+    // Incremental structure.
+    {
+      incremental_msf msf(n);
+      timer t;
+      for (size_t lo = 0; lo < graph.size(); lo += batch) {
+        size_t hi = std::min(graph.size(), lo + batch);
+        msf.batch_insert(std::span<const weighted_edge>(graph.data() + lo,
+                                                        hi - lo));
+      }
+      double sec = t.elapsed();
+      bench::print_row({"incremental_msf", std::to_string(n),
+                        std::to_string(m), std::to_string(batch),
+                        bench::fmt(sec),
+                        bench::fmt(sec / static_cast<double>(m) * 1e6,
+                                   "%.2f"),
+                        std::to_string(msf.msf_weight())});
+    }
+    // Kruskal-from-scratch after every batch (the static comparator).
+    {
+      std::vector<weighted_edge> live;
+      timer t;
+      uint64_t w = 0;
+      for (size_t lo = 0; lo < graph.size(); lo += batch) {
+        size_t hi = std::min(graph.size(), lo + batch);
+        live.insert(live.end(), graph.begin() + static_cast<ptrdiff_t>(lo),
+                    graph.begin() + static_cast<ptrdiff_t>(hi));
+        w = kruskal(n, live);
+      }
+      double sec = t.elapsed();
+      bench::print_row({"kruskal_recompute", std::to_string(n),
+                        std::to_string(m), std::to_string(batch),
+                        bench::fmt(sec),
+                        bench::fmt(sec / static_cast<double>(m) * 1e6,
+                                   "%.2f"),
+                        std::to_string(w)});
+    }
+  }
+  return 0;
+}

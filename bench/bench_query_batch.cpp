@@ -1,0 +1,64 @@
+// E2 — Theorem 3: a batch of k connectivity queries costs
+// O(k lg(1 + n/k)) expected work and O(lg n) depth. Per-query time should
+// fall as k grows at fixed n.
+#include <benchmark/benchmark.h>
+
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+
+using namespace bdc;
+
+namespace {
+
+constexpr vertex_id kN = 1 << 15;
+
+batch_dynamic_connectivity& shared_graph() {
+  static batch_dynamic_connectivity* dc = [] {
+    auto* p = new batch_dynamic_connectivity(kN);
+    p->batch_insert(gen_erdos_renyi(kN, 2 * kN, 21));
+    return p;
+  }();
+  return *dc;
+}
+
+}  // namespace
+
+static void BM_BatchConnected(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  auto& dc = shared_graph();
+  auto qs = make_query_batch(kN, k, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc.batch_connected(qs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k) * state.iterations());
+}
+BENCHMARK(BM_BatchConnected)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536);
+
+static void BM_SingleConnected(benchmark::State& state) {
+  auto& dc = shared_graph();
+  bdc::random r(23);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    vertex_id u = static_cast<vertex_id>(r.ith_rand(i++, kN));
+    vertex_id v = static_cast<vertex_id>(r.ith_rand(i++, kN));
+    benchmark::DoNotOptimize(dc.connected(u, v));
+  }
+}
+BENCHMARK(BM_SingleConnected);
+
+static void BM_Components(benchmark::State& state) {
+  auto& dc = shared_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc.components());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kN) * state.iterations());
+}
+BENCHMARK(BM_Components);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E8 — parallel self-relative speedup. The work-depth bounds promise
+// T_P ~ W/P + O(D). Two facets are measured:
+//  (a) batch queries — pure work, no synchronization: speedup tracks the
+//      machine's effective core count;
+//  (b) update streams — many short synchronous phases: the O(D) +
+//      scheduling term is material, so speedup needs large batches and
+//      real core counts (this container typically offers ~2 shared vCPUs;
+//      see EXPERIMENTS.md).
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace bdc;
+
+int main() {
+  bench::print_header(
+      "E8 bench_scaling_threads",
+      "T_P ~ W/P + O(D): query batches scale with workers; update batches "
+      "need the W/P term to dominate the sync term");
+  bench::print_row({"facet", "workers", "n", "work_items", "total_sec",
+                    "speedup_vs_1"});
+  const vertex_id n = 1 << 16;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  std::vector<unsigned> workers = {1};
+  for (unsigned w = 2; w <= hw; w *= 2) workers.push_back(w);
+  if (workers.back() != hw) workers.push_back(hw);
+
+  // Facet (a): a large query batch over a prebuilt graph.
+  {
+    batch_dynamic_connectivity dc(n);
+    dc.batch_insert(gen_erdos_renyi(n, 2 * n, 7));
+    auto qs = make_query_batch(n, 1 << 20, 8);
+    double base = 0;
+    for (unsigned w : workers) {
+      set_num_workers(w);
+      (void)dc.batch_connected(qs);  // warm
+      timer t;
+      (void)dc.batch_connected(qs);
+      double sec = t.elapsed();
+      if (w == 1) base = sec;
+      bench::print_row({"queries", std::to_string(w), std::to_string(n),
+                        std::to_string(qs.size()), bench::fmt(sec),
+                        bench::fmt(base / sec, "%.2f")});
+    }
+  }
+
+  // Facet (b): insert+delete stream with large batches.
+  {
+    const vertex_id nu = 1 << 14;
+    const size_t m = 4 * static_cast<size_t>(nu);
+    const size_t batch = 8192;
+    auto graph = gen_erdos_renyi(nu, m, 9);
+    auto stream = make_deletion_stream(graph, nu, batch, batch, 0, 10);
+    double base = 0;
+    for (unsigned w : workers) {
+      set_num_workers(w);
+      batch_dynamic_connectivity dc(nu);
+      timer t;
+      for (const auto& b : stream) {
+        if (b.op == update_batch::kind::insert) dc.batch_insert(b.edges);
+        if (b.op == update_batch::kind::erase) dc.batch_delete(b.edges);
+      }
+      double sec = t.elapsed();
+      if (w == 1) base = sec;
+      bench::print_row({"updates", std::to_string(w), std::to_string(nu),
+                        std::to_string(2 * m), bench::fmt(sec),
+                        bench::fmt(base / sec, "%.2f")});
+    }
+  }
+  set_num_workers(hw);
+  return 0;
+}

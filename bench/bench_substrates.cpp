@@ -1,0 +1,67 @@
+// E10 — substrate cost model: the parallel primitives the analysis treats
+// as O(k) work (semisort [24], parallel dictionary [23], spanning forest
+// [22], scan/pack [34]) should show flat-ish per-element costs as input
+// size grows.
+#include <benchmark/benchmark.h>
+
+#include "gen/graph_gen.hpp"
+#include "hashtable/phase_concurrent_map.hpp"
+#include "parallel/primitives.hpp"
+#include "sequence/semisort.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+using namespace bdc;
+
+static void BM_Semisort(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bdc::random r(41);
+  std::vector<std::pair<uint32_t, uint64_t>> pairs(n);
+  for (size_t i = 0; i < n; ++i)
+    pairs[i] = {static_cast<uint32_t>(r.ith_rand(i, n / 4 + 1)),
+                r.ith_rand(i)};
+  for (auto _ : state) {
+    auto copy = pairs;
+    benchmark::DoNotOptimize(group_by_key(std::move(copy)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Semisort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_DictionaryInsertBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<uint64_t, uint64_t>> kvs(n);
+  for (size_t i = 0; i < n; ++i) kvs[i] = {hash64(i) | 1, i};
+  for (auto _ : state) {
+    phase_concurrent_map<uint64_t> m(n);
+    m.insert_batch(kvs);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_DictionaryInsertBatch)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_SpanningForest(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto es = gen_erdos_renyi(static_cast<vertex_id>(n), 4 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanning_forest(n, es));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(4 * n) * state.iterations());
+}
+BENCHMARK(BM_SpanningForest)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_ScanPack(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bdc::random r(43);
+  std::vector<long> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<long>(r.ith_rand(i, 100));
+  for (auto _ : state) {
+    auto evens = filter(v, [](long x) { return x % 2 == 0; });
+    benchmark::DoNotOptimize(evens);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScanPack)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E7 — §1 motivation: per-epoch cost of a batch-dynamic structure is
+// O(k polylog n), independent of the total edge count m, while recompute-
+// from-scratch pays O(m + n) per queried epoch. The decisive shape is the
+// m-sweep at fixed batch size: static cost per epoch grows linearly with
+// m, dynamic cost stays flat, so for any fixed batch size a large enough
+// graph puts the dynamic structure ahead (the paper's asymptotic claim).
+// A batch-size sweep at fixed m locates the crossover on this machine.
+#include "bench_common.hpp"
+#include "baselines/static_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+
+using namespace bdc;
+
+namespace {
+
+/// Builds the graph, then measures `epochs` delete-batch+query epochs.
+template <typename S>
+double measure_epochs(S& s, const std::vector<edge>& graph, vertex_id n,
+                      size_t batch, size_t epochs) {
+  s.batch_insert(graph);
+  auto qs = make_query_batch(n, 64, 99);
+  (void)s.batch_connected(qs);  // settle initial state
+  timer t;
+  size_t done = 0;
+  for (size_t lo = 0; lo + batch <= graph.size() && done < epochs;
+       lo += batch, ++done) {
+    s.batch_delete(
+        std::span<const edge>(graph.data() + lo, batch));
+    (void)s.batch_connected(qs);  // forces the static baseline to refresh
+  }
+  return t.elapsed() / static_cast<double>(done) * 1e3;  // ms/epoch
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E7 bench_vs_static",
+      "static recompute pays O(m+n) per queried epoch (grows with m); "
+      "dynamic pays O(k polylog n) (flat in m)");
+  bench::print_row({"structure", "n", "m", "batch", "ms_per_epoch"});
+
+  // m-sweep at fixed batch: the shape that decides the asymptotics.
+  const vertex_id n = 1 << 14;
+  const size_t batch = 256, epochs = 16;
+  for (size_t m : {size_t{1} << 14, size_t{1} << 16, size_t{1} << 18}) {
+    auto graph = gen_erdos_renyi(n, m, 5 + m);
+    {
+      batch_dynamic_connectivity dc(n);
+      double ms = measure_epochs(dc, graph, n, batch, epochs);
+      bench::print_row({"dynamic", std::to_string(n), std::to_string(m),
+                        std::to_string(batch), bench::fmt(ms, "%.3f")});
+    }
+    {
+      static_recompute_connectivity sc(n);
+      double ms = measure_epochs(sc, graph, n, batch, epochs);
+      bench::print_row({"static", std::to_string(n), std::to_string(m),
+                        std::to_string(batch), bench::fmt(ms, "%.3f")});
+    }
+  }
+
+  // Batch sweep at fixed m: locates this machine's crossover.
+  const size_t m_fixed = size_t{1} << 16;
+  auto graph = gen_erdos_renyi(n, m_fixed, 6);
+  for (size_t b : {16u, 256u, 4096u}) {
+    {
+      batch_dynamic_connectivity dc(n);
+      double ms = measure_epochs(dc, graph, n, b, epochs);
+      bench::print_row({"dynamic", std::to_string(n),
+                        std::to_string(m_fixed), std::to_string(b),
+                        bench::fmt(ms, "%.3f")});
+    }
+    {
+      static_recompute_connectivity sc(n);
+      double ms = measure_epochs(sc, graph, n, b, epochs);
+      bench::print_row({"static", std::to_string(n),
+                        std::to_string(m_fixed), std::to_string(b),
+                        bench::fmt(ms, "%.3f")});
+    }
+  }
+  return 0;
+}

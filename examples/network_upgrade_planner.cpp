@@ -1,0 +1,75 @@
+// Network upgrade planner — exercises the §6 MSF extension. A regional ISP
+// keeps a live minimum-cost backbone (minimum spanning forest) while
+// candidate fiber routes stream in from surveying crews in batches. Each
+// accepted route either connects a new area or displaces the costliest
+// route on the cycle it closes (the classic exchange argument, answered by
+// a link-cut-tree path-maximum query).
+#include <cstdio>
+
+#include "gen/graph_gen.hpp"
+#include "msf/incremental_msf.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+using namespace bdc;
+
+int main() {
+  const vertex_id n = 4000;  // towns
+  std::printf("upgrade planner: %u towns, routes arrive in survey waves\n",
+              n);
+
+  // Candidate routes: geometric-ish — a grid backbone plus random links,
+  // costs skewed so later surveys sometimes find cheaper corridors.
+  auto topology = gen_grid(50, 80);
+  auto extras = gen_erdos_renyi(n, 3 * n, 77);
+  topology.insert(topology.end(), extras.begin(), extras.end());
+
+  random_stream rs(7);
+  std::vector<weighted_edge> routes;
+  routes.reserve(topology.size());
+  for (const edge& e : topology)
+    routes.push_back({e, 100 + rs.next(10'000)});
+
+  incremental_msf plan(n);
+  timer total;
+  const size_t wave = routes.size() / 10;
+  for (size_t w = 0; w < 10; ++w) {
+    size_t lo = w * wave;
+    size_t hi = (w == 9) ? routes.size() : lo + wave;
+    size_t forest_before = plan.num_forest_edges();
+    uint64_t cost_before = plan.msf_weight();
+    plan.batch_insert(std::span<const weighted_edge>(routes.data() + lo,
+                                                     hi - lo));
+    std::printf(
+        "wave %2zu | %5zu candidates | backbone %5zu->%5zu links | "
+        "cost %9llu -> %9llu%s\n",
+        w + 1, hi - lo, forest_before, plan.num_forest_edges(),
+        static_cast<unsigned long long>(cost_before),
+        static_cast<unsigned long long>(plan.msf_weight()),
+        plan.msf_weight() < cost_before ? "  (cheaper corridors found!)"
+                                        : "");
+  }
+  std::printf(
+      "final: %zu towns connected by %zu links, total cost %llu "
+      "(%.2fs; %zu candidate routes considered)\n",
+      static_cast<size_t>(n), plan.num_forest_edges(),
+      static_cast<unsigned long long>(plan.msf_weight()), total.elapsed(),
+      routes.size());
+
+  // A decommissioning what-if: drop the single costliest backbone link and
+  // see the repair the structure chooses.
+  auto forest = plan.forest_edges();
+  const weighted_edge* worst = &forest[0];
+  for (const auto& we : forest)
+    if (we.weight > worst->weight) worst = &we;
+  std::printf("what-if: decommission costliest link (%u,%u) cost %llu\n",
+              worst->e.u, worst->e.v,
+              static_cast<unsigned long long>(worst->weight));
+  uint64_t before = plan.msf_weight();
+  plan.erase(worst->e);
+  std::printf("  backbone cost now %llu (delta %+lld)\n",
+              static_cast<unsigned long long>(plan.msf_weight()),
+              static_cast<long long>(plan.msf_weight()) -
+                  static_cast<long long>(before));
+  return 0;
+}

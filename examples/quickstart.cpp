@@ -1,0 +1,57 @@
+// Quickstart: the five-minute tour of the public API.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/batch_connectivity.hpp"
+
+using namespace bdc;
+
+int main() {
+  // A dynamic graph over 8 vertices (ids 0..7).
+  batch_dynamic_connectivity graph(8);
+
+  // Insert a batch of edges. Duplicates, reversed copies, and self-loops
+  // are tolerated and ignored.
+  std::vector<edge> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3},
+                             {4, 5}, {5, 6}, {1, 0}};
+  graph.batch_insert(edges);
+  std::printf("inserted; %zu edges live\n", graph.num_edges());
+
+  // Queries: single or batched.
+  std::printf("0 ~ 3?  %s\n", graph.connected(0, 3) ? "yes" : "no");
+  std::printf("0 ~ 4?  %s\n", graph.connected(0, 4) ? "yes" : "no");
+  std::vector<std::pair<vertex_id, vertex_id>> queries = {
+      {0, 2}, {3, 1}, {4, 6}, {0, 7}};
+  auto answers = graph.batch_connected(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("%u ~ %u?  %s\n", queries[i].first, queries[i].second,
+                answers[i] ? "yes" : "no");
+  }
+
+  // Delete a batch. (0,1) is covered by the cycle 0-3-2-1, so the
+  // component survives; (5,6) is a bridge, so 6 splits off.
+  graph.batch_delete(std::vector<edge>{{0, 1}, {5, 6}});
+  std::printf("after deletion:\n");
+  std::printf("0 ~ 1?  %s   (replacement found through 3-2)\n",
+              graph.connected(0, 1) ? "yes" : "no");
+  std::printf("5 ~ 6?  %s   (bridge removed)\n",
+              graph.connected(5, 6) ? "yes" : "no");
+
+  // Component labels: labels[v] is the smallest vertex in v's component.
+  auto labels = graph.components();
+  std::printf("component labels:");
+  for (vertex_id v = 0; v < graph.num_vertices(); ++v)
+    std::printf(" %u:%u", v, labels[v]);
+  std::printf("\n");
+  std::printf("size of 0's component: %zu\n", graph.component_size(0));
+
+  // Instrumentation for the curious.
+  const auto& s = graph.stats();
+  std::printf("stats: %llu inserted, %llu deleted, %llu replacements\n",
+              static_cast<unsigned long long>(s.edges_inserted),
+              static_cast<unsigned long long>(s.edges_deleted),
+              static_cast<unsigned long long>(s.replacements_promoted));
+  return 0;
+}

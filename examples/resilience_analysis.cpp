@@ -1,0 +1,88 @@
+// Network resilience analysis: a data-center-style topology (grid backbone
+// plus random shortcut links) subjected to waves of correlated link
+// failures and repairs. After each wave the operator checks whether
+// critical endpoint pairs can still reach each other.
+//
+// Deletions dominate this workload — exactly the regime the paper's
+// replacement-edge search (Algorithm 5) is built for: every failed bridge
+// triggers a hunt for a backup path through lower levels.
+#include <cstdio>
+
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+using namespace bdc;
+
+int main() {
+  const vertex_id rows = 64, cols = 64;
+  const vertex_id n = rows * cols;
+  std::printf("resilience analysis: %ux%u grid backbone + shortcuts\n",
+              rows, cols);
+
+  auto backbone = gen_grid(rows, cols);
+  auto shortcuts = gen_erdos_renyi(n, n / 4, 99);
+
+  batch_dynamic_connectivity net(n);
+  net.batch_insert(backbone);
+  net.batch_insert(shortcuts);
+
+  // Critical pairs: the four corners and the center pairwise.
+  std::vector<vertex_id> critical = {0, cols - 1, n - cols, n - 1,
+                                     (rows / 2) * cols + cols / 2};
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  for (size_t i = 0; i < critical.size(); ++i)
+    for (size_t j = i + 1; j < critical.size(); ++j)
+      pairs.push_back({critical[i], critical[j]});
+
+  random_stream rs(123);
+  std::vector<edge> all_links = backbone;
+  all_links.insert(all_links.end(), shortcuts.begin(), shortcuts.end());
+
+  timer total;
+  std::vector<edge> currently_failed;
+  for (int wave = 1; wave <= 12; ++wave) {
+    // Correlated failure: a random contiguous band of the grid plus
+    // random shortcuts goes down.
+    std::vector<edge> failures;
+    vertex_id band = static_cast<vertex_id>(rs.next(rows - 4));
+    for (const edge& e : backbone) {
+      vertex_id r1 = e.u / cols, r2 = e.v / cols;
+      if (r1 >= band && r1 < band + 3 && r2 >= band && r2 < band + 3)
+        failures.push_back(e);
+    }
+    for (const edge& e : shortcuts)
+      if (rs.next(100) < 20) failures.push_back(e);
+
+    net.batch_delete(failures);
+    currently_failed.insert(currently_failed.end(), failures.begin(),
+                            failures.end());
+
+    auto ok = net.batch_connected(pairs);
+    size_t reachable = 0;
+    for (bool b : ok) reachable += b;
+    std::printf(
+        "wave %2d | failed links %5zu (band rows %u-%u) | critical pairs "
+        "reachable %zu/%zu | components of corner0: %zu vertices\n",
+        wave, failures.size(), band, band + 2, reachable, pairs.size(),
+        net.component_size(0));
+
+    // Repair crews bring back ~60% of everything currently failed.
+    std::vector<edge> repaired;
+    std::vector<edge> still_failed;
+    for (const edge& e : currently_failed) {
+      if (rs.next(100) < 60) {
+        repaired.push_back(e);
+      } else {
+        still_failed.push_back(e);
+      }
+    }
+    net.batch_insert(repaired);
+    currently_failed = std::move(still_failed);
+  }
+  std::printf("12 failure/repair waves in %.2fs; %zu links still down\n",
+              total.elapsed(), currently_failed.size());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Per-level adjacency storage (paper Appendix 8) and the global edge
+// dictionary record (paper §3 "Data Structures").
+//
+// Each level i keeps, for every vertex with edges at that level, two
+// resizable arrays: incident tree edges of level i and incident non-tree
+// edges of level i (stored separately so they can be fetched separately).
+// Every edge appears in the arrays of both endpoints; the global edge
+// dictionary records its level, tree/non-tree status, and its slot in each
+// endpoint's array, giving O(1) amortized insert/delete/fetch per edge
+// (Lemma 9) via swap-with-last deletion.
+//
+// Batch operations take inputs grouped by endpoint (via semisort): each
+// group is mutated sequentially by one task while groups proceed in
+// parallel, so each array and each record position field has a single
+// writer per phase. (The paper's compaction scheme gives O(lg n) worst-case
+// depth per batch; our per-vertex-sequential variant is O(max group size),
+// which is O(1) expected for the hashed batches the core algorithm builds —
+// see DESIGN.md §8.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hashtable/phase_concurrent_map.hpp"
+#include "sequence/semisort.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// Global per-edge bookkeeping. Lives in one phase_concurrent_map keyed by
+/// the canonical edge key; exactly one record per present edge.
+struct edge_record {
+  int16_t level = -1;    // current level of the edge
+  uint8_t is_tree = 0;   // 1 if the edge is in the spanning forests
+  // Slot of this edge in the adjacency array of canonical endpoint u
+  // (pos[0]) and v (pos[1]) at its current level.
+  uint32_t pos[2] = {0, 0};
+};
+
+using edge_dict = phase_concurrent_map<edge_record>;
+
+/// One level's adjacency lists.
+class leveled_adjacency {
+ public:
+  leveled_adjacency() : slots_(16) {}
+  ~leveled_adjacency();
+
+  leveled_adjacency(const leveled_adjacency&) = delete;
+  leveled_adjacency& operator=(const leveled_adjacency&) = delete;
+
+  /// An incidence to process: `e` is the edge; the group key names the
+  /// endpoint whose list is touched.
+  struct incidence {
+    edge e;
+    uint8_t is_tree;
+  };
+  using grouped = grouped_records<vertex_id, incidence>;
+
+  /// Inserts every incidence into its endpoint's list and fills in the
+  /// edge records' position fields. Each edge must be supplied under both
+  /// endpoints (possibly in different calls only if symmetric). Records in
+  /// `dict` must already exist with `level` and `is_tree` set.
+  void insert_grouped(const grouped& by_endpoint, edge_dict& dict);
+
+  /// Removes every incidence from its endpoint's list (swap-with-last),
+  /// patching the displaced edge's record.
+  void erase_grouped(const grouped& by_endpoint, edge_dict& dict);
+
+  /// Moves an edge between the tree and non-tree lists of both endpoints.
+  /// Grouped like insert; records' is_tree must already be updated.
+  void change_kind_grouped(const grouped& by_endpoint, edge_dict& dict);
+
+  /// Number of tree / non-tree edges incident to u at this level.
+  [[nodiscard]] uint32_t tree_degree(vertex_id u) const;
+  [[nodiscard]] uint32_t nontree_degree(vertex_id u) const;
+
+  /// Appends the first `want` tree (non-tree) edges incident to u.
+  void fetch_tree(vertex_id u, uint32_t want, std::vector<edge>& out) const;
+  void fetch_nontree(vertex_id u, uint32_t want,
+                     std::vector<edge>& out) const;
+
+  /// Total incidences stored (each edge counted twice). For tests.
+  [[nodiscard]] size_t total_incidences() const;
+
+  /// Verifies the position back-pointers of every stored edge. Returns an
+  /// empty string if consistent (tests only; O(size)).
+  [[nodiscard]] std::string check_positions(const edge_dict& dict,
+                                            int level) const;
+
+ private:
+  struct vertex_slot {
+    std::vector<edge> tree;     // edges (stored canonically) at this level
+    std::vector<edge> nontree;
+  };
+
+  [[nodiscard]] vertex_slot* slot_for(vertex_id u) const;
+  vertex_slot* ensure_slot(vertex_id u);
+
+  /// Position field index of endpoint `u` in edge `c` (c canonical).
+  static int side_of(const edge& c, vertex_id u) { return c.v == u ? 1 : 0; }
+
+  // vertex -> heap slot. Entries are created on demand during insert
+  // phases (one insert per group => distinct keys) and never removed;
+  // empty slots are cheap husks reclaimed at destruction.
+  mutable phase_concurrent_map<vertex_slot*> slots_;
+};
+
+}  // namespace bdc

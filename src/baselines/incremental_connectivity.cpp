@@ -1,0 +1,26 @@
+#include "baselines/incremental_connectivity.hpp"
+
+#include "parallel/scheduler.hpp"
+
+namespace bdc {
+
+void incremental_connectivity::batch_insert(std::span<const edge> es) {
+  parallel_for(0, es.size(), [&](size_t i) {
+    if (!es[i].is_self_loop()) uf_.unite(es[i].u, es[i].v);
+  });
+  num_edges_ += es.size();
+}
+
+std::vector<bool> incremental_connectivity::batch_connected(
+    std::span<const std::pair<vertex_id, vertex_id>> qs) const {
+  // Byte array first: std::vector<bool> bit-packing is not safe for
+  // concurrent writes to neighboring indices.
+  std::vector<uint8_t> bits(qs.size());
+  auto& uf = const_cast<concurrent_union_find&>(uf_);
+  parallel_for(0, qs.size(), [&](size_t i) {
+    bits[i] = uf.find(qs[i].first) == uf.find(qs[i].second) ? 1 : 0;
+  });
+  return std::vector<bool>(bits.begin(), bits.end());
+}
+
+}  // namespace bdc

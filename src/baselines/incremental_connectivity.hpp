@@ -1,0 +1,40 @@
+// Baseline: work-efficient parallel incremental (insertion-only) batch
+// connectivity via concurrent union-find, after Simsiri, Tangwongsan,
+// Tirthapura, Wu (Euro-Par 2016) [57]. Supports batch insertions and batch
+// queries only — the restricted setting the paper's introduction contrasts
+// against. Used by experiment E11.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spanning/union_find.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class incremental_connectivity {
+ public:
+  explicit incremental_connectivity(vertex_id n) : uf_(n) {}
+
+  [[nodiscard]] size_t num_vertices() const { return uf_.size(); }
+  [[nodiscard]] size_t num_edges() const { return num_edges_; }
+
+  /// O(k α(n)) expected work for a batch of k insertions.
+  void batch_insert(std::span<const edge> es);
+
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const {
+    // find() path-halves, so the handle is morally const.
+    return const_cast<concurrent_union_find&>(uf_).find(u) ==
+           const_cast<concurrent_union_find&>(uf_).find(v);
+  }
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> qs) const;
+
+ private:
+  concurrent_union_find uf_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace bdc

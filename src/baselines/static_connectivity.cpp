@@ -1,0 +1,63 @@
+#include "baselines/static_connectivity.hpp"
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "spanning/union_find.hpp"
+
+namespace bdc {
+
+static_recompute_connectivity::static_recompute_connectivity(vertex_id n)
+    : n_(n), edges_(64) {}
+
+void static_recompute_connectivity::batch_insert(std::span<const edge> es) {
+  edges_.reserve_for(es.size());
+  parallel_for(0, es.size(), [&](size_t i) {
+    edge c = es[i].canonical();
+    if (!c.is_self_loop()) edges_.insert(edge_key(c), 1);
+  });
+  stale_ = true;
+}
+
+void static_recompute_connectivity::batch_delete(std::span<const edge> es) {
+  std::vector<uint64_t> keys(es.size());
+  parallel_for(0, es.size(),
+               [&](size_t i) { keys[i] = edge_key(es[i].canonical()); });
+  edges_.erase_batch(keys);
+  stale_ = true;
+}
+
+void static_recompute_connectivity::refresh() const {
+  if (!stale_) return;
+  auto entries = edges_.entries();
+  std::vector<edge> all(entries.size());
+  parallel_for(0, entries.size(),
+               [&](size_t i) { all[i] = edge_from_key(entries[i].first); });
+  labels_ = connected_components(n_, all);
+  stale_ = false;
+  ++recomputes_;
+}
+
+bool static_recompute_connectivity::connected(vertex_id u,
+                                              vertex_id v) const {
+  refresh();
+  return labels_[u] == labels_[v];
+}
+
+std::vector<bool> static_recompute_connectivity::batch_connected(
+    std::span<const std::pair<vertex_id, vertex_id>> qs) const {
+  refresh();
+  // Byte array first: std::vector<bool> bit-packing is not safe for
+  // concurrent writes to neighboring indices.
+  std::vector<uint8_t> bits(qs.size());
+  parallel_for(0, qs.size(), [&](size_t i) {
+    bits[i] = labels_[qs[i].first] == labels_[qs[i].second] ? 1 : 0;
+  });
+  return std::vector<bool>(bits.begin(), bits.end());
+}
+
+std::vector<vertex_id> static_recompute_connectivity::components() const {
+  refresh();
+  return std::vector<vertex_id>(labels_.begin(), labels_.end());
+}
+
+}  // namespace bdc

@@ -1,0 +1,47 @@
+// Baseline: recompute connectivity from scratch on every batch (paper §1:
+// "these algorithms may recompute the connected components of the entire
+// graph even for very small batches", costing O(m + n) work per batch).
+//
+// Maintains only the edge set; every query epoch rebuilds component labels
+// with the parallel static connectivity of src/spanning. This is the
+// comparator for experiment E7 (dynamic-vs-static crossover).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hashtable/phase_concurrent_map.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class static_recompute_connectivity {
+ public:
+  explicit static_recompute_connectivity(vertex_id n);
+
+  [[nodiscard]] vertex_id num_vertices() const { return n_; }
+  [[nodiscard]] size_t num_edges() const { return edges_.size(); }
+
+  void batch_insert(std::span<const edge> es);
+  void batch_delete(std::span<const edge> es);
+
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> qs) const;
+  [[nodiscard]] std::vector<vertex_id> components() const;
+
+  /// Number of full recomputes performed (each O(m + n) work).
+  [[nodiscard]] uint64_t recomputes() const { return recomputes_; }
+
+ private:
+  void refresh() const;  // rebuild labels if stale
+
+  vertex_id n_;
+  phase_concurrent_map<uint8_t> edges_;  // key = canonical edge key
+  mutable std::vector<uint32_t> labels_;
+  mutable bool stale_ = true;
+  mutable uint64_t recomputes_ = 0;
+};
+
+}  // namespace bdc

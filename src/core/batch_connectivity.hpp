@@ -1,0 +1,142 @@
+// Parallel batch-dynamic graph connectivity (Acar, Anderson, Blelloch,
+// Dhulipala — SPAA 2019): the library's primary data structure.
+//
+// Maintains an n-vertex undirected graph under batches of edge insertions,
+// edge deletions, and connectivity queries:
+//   * batch_insert  — Algorithm 2: O(k lg(1+n/k)) expected work, O(lg n)
+//     depth w.h.p. per batch of k edges.
+//   * batch_delete  — Algorithms 3-5: O(lg n lg(1+n/Δ)) expected amortized
+//     work per edge (Δ = average deletion batch size) with the interleaved
+//     search (Theorem 9); O(lg^3 n) depth w.h.p. (Theorem 7).
+//   * batch_connected — Algorithm 1: O(k lg(1+n/k)) expected work, O(lg n)
+//     depth w.h.p. (Theorem 3).
+//
+// The structure keeps lg n nested spanning forests F_0 ⊆ … ⊆ F_top over
+// batch-parallel Euler tour trees, subject to the HDT invariants:
+//   Invariant 1: components of G_i have at most 2^(i+1) vertices.
+//   Invariant 2: F_top is a minimum spanning forest w.r.t. edge levels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/level_structure.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// Which replacement-search engine batch_delete uses.
+enum class level_search_kind {
+  /// Algorithm 5: single doubling sequence interleaved with spanning-forest
+  /// rounds; deferred pushes. O(lg n) oracle phases per level. Default.
+  interleaved,
+  /// Algorithm 4: per-round restarted doubling. O(lg^2 n) phases per level.
+  simple,
+  /// Ablation: fetch ALL incident non-tree edges at once (the "natural
+  /// idea" of §3.3 that breaks the charging argument).
+  scan_all,
+};
+
+struct options {
+  level_search_kind search = level_search_kind::interleaved;
+  uint64_t seed = 0xbdc5eed;
+};
+
+/// Cumulative instrumentation (benchmarks E4/E9 and the paper's
+/// depth/work accounting). All counters are totals since construction.
+struct statistics {
+  uint64_t batches_inserted = 0;
+  uint64_t batches_deleted = 0;
+  uint64_t edges_inserted = 0;
+  uint64_t edges_deleted = 0;
+  uint64_t tree_edges_deleted = 0;
+  uint64_t levels_searched = 0;   // ParallelLevelSearch invocations
+  uint64_t search_rounds = 0;     // spanning-forest rounds across levels
+  uint64_t doubling_phases = 0;   // oracle calls (edge-fetch phases)
+  uint64_t edges_fetched = 0;     // non-tree edges examined
+  uint64_t edges_pushed = 0;      // level decreases (tree + non-tree)
+  uint64_t replacements_promoted = 0;  // non-tree edges become tree edges
+};
+
+struct invariant_report {
+  bool ok = true;
+  std::string message;
+};
+
+class batch_dynamic_connectivity {
+ public:
+  explicit batch_dynamic_connectivity(vertex_id n, options opts = {});
+
+  [[nodiscard]] vertex_id num_vertices() const { return ls_.num_vertices(); }
+  [[nodiscard]] size_t num_edges() const { return ls_.num_edges(); }
+  [[nodiscard]] int num_levels() const { return ls_.num_levels(); }
+
+  /// Inserts a batch of edges. Self-loops, duplicates within the batch, and
+  /// edges already present are ignored. (Algorithm 2.)
+  void batch_insert(std::span<const edge> edges);
+  void insert(edge e) { batch_insert({&e, 1}); }
+
+  /// Deletes a batch of edges; entries not currently present are ignored.
+  /// (Algorithm 3 + the configured level search.)
+  void batch_delete(std::span<const edge> edges);
+  void erase(edge e) { batch_delete({&e, 1}); }
+
+  /// Answers k connectivity queries. (Algorithm 1.)
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> queries) const;
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+
+  [[nodiscard]] bool has_edge(edge e) const {
+    return ls_.record_of(e) != nullptr;
+  }
+
+  /// Size (vertex count) of v's connected component.
+  [[nodiscard]] size_t component_size(vertex_id v) const;
+
+  /// Component labels: labels[v] == labels[u] iff connected; the label is
+  /// the smallest vertex id in the component.
+  [[nodiscard]] std::vector<vertex_id> components() const;
+
+  [[nodiscard]] const statistics& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Deep validation of every paper invariant plus substrate consistency
+  /// (tests; cost O(m lg n + n lg n)).
+  [[nodiscard]] invariant_report check_invariants() const;
+
+  /// Access to the underlying hierarchy (benchmarks / diagnostics).
+  [[nodiscard]] const level_structure& levels() const { return ls_; }
+
+ private:
+  using node = euler_tour_forest::node;
+
+  /// A still-disconnected component ("piece") during a level search.
+  struct piece {
+    vertex_id seed;         // any vertex inside the piece
+    node* rep;              // F_level representative (stable per level)
+    uint64_t size;          // vertex count
+    uint64_t nontree_slots; // incident same-level non-tree slots (2x edges)
+    uint64_t tree_slots;    // incident same-level tree slots
+  };
+
+  std::vector<piece> resolve_pieces(int level,
+                                    std::span<const vertex_id> seeds) const;
+  void push_tree_edges(int level, const std::vector<piece>& active);
+  /// Fetches up to `want` non-tree slots of `p`, expands and dedupes to
+  /// edges in tour order.
+  std::vector<edge> fetch_nontree_edges(int level, const piece& p,
+                                        uint64_t want) const;
+
+  void level_search_simple(int level, std::span<const vertex_id> seeds,
+                           std::vector<edge>& buffered, bool scan_all);
+  void level_search_interleaved(int level, std::span<const vertex_id> seeds,
+                                std::vector<edge>& buffered);
+
+  options opts_;
+  level_structure ls_;
+  mutable statistics stats_;
+};
+
+}  // namespace bdc

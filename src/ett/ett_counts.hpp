@@ -1,0 +1,25 @@
+// The augmented value carried by every Euler-tour-tree node (paper §2.2
+// "Implementation and Cost" and Appendix 9): per-component counts of
+// vertices, of incident tree edges whose level equals the forest's level,
+// and of incident non-tree edges at that level. Edge counts are maintained
+// on vertex nodes (mirroring the adjacency lists), so each edge is counted
+// once per endpoint, i.e. twice per component.
+#pragma once
+
+#include <cstdint>
+
+namespace bdc {
+
+struct ett_counts {
+  uint32_t vertices = 0;
+  uint32_t tree_edges = 0;     // level-i tree edges incident, by endpoint
+  uint32_t nontree_edges = 0;  // level-i non-tree edges incident, by endpoint
+
+  friend ett_counts operator+(const ett_counts& a, const ett_counts& b) {
+    return {a.vertices + b.vertices, a.tree_edges + b.tree_edges,
+            a.nontree_edges + b.nontree_edges};
+  }
+  friend bool operator==(const ett_counts&, const ett_counts&) = default;
+};
+
+}  // namespace bdc

@@ -1,0 +1,125 @@
+// Batch-parallel Euler tour trees (paper §2.1; Tseng et al. [62]).
+//
+// Represents a forest over vertices [0, n) as a set of circular Euler-tour
+// sequences stored in an augmented skip list. A tree's tour visits one node
+// per vertex and one node per directed arc of each tree edge; linking and
+// cutting reduce to batch splits and joins of the sequences.
+//
+// Cost (Theorem 2): a batch of k links, cuts, representative or connectivity
+// queries costs O(k lg(1 + n/k)) expected work and O(lg n) depth w.h.p.
+//
+// The structure also carries the HDT augmentations: per-vertex counts of
+// incident same-level tree and non-tree edges (set by the level structure
+// via batch_add_counts), with component-wide sums and first-ℓ retrieval
+// (Appendix 9's fetch primitives).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ett/ett_counts.hpp"
+#include "hashtable/phase_concurrent_map.hpp"
+#include "skiplist/augmented_skiplist.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class euler_tour_forest {
+ public:
+  using skiplist = augmented_skiplist<ett_counts>;
+  using node = skiplist::node;
+
+  /// An empty forest (no edges) over n vertices.
+  explicit euler_tour_forest(vertex_id n, uint64_t seed = 0xe77e77);
+  ~euler_tour_forest();
+
+  euler_tour_forest(const euler_tour_forest&) = delete;
+  euler_tour_forest& operator=(const euler_tour_forest&) = delete;
+
+  [[nodiscard]] size_t num_vertices() const { return vertex_nodes_.size(); }
+  [[nodiscard]] size_t num_edges() const { return edge_map_.size(); }
+
+  // ------------------------------------------------------------------
+  // Updates (each call is one mutation phase)
+  // ------------------------------------------------------------------
+
+  /// Adds `links` to the forest. Preconditions: no self loops, edges
+  /// distinct (as undirected pairs), not already present, and the batch
+  /// keeps the graph acyclic (the caller runs a spanning-forest pass first;
+  /// Algorithms 2, 4, 5 all guarantee this).
+  void batch_link(std::span<const edge> links);
+  void link(edge e) { batch_link({&e, 1}); }
+
+  /// Removes `cuts`, which must all be present tree edges (distinct).
+  void batch_cut(std::span<const edge> cuts);
+  void cut(edge e) { batch_cut({&e, 1}); }
+
+  /// Adds (tree_delta, nontree_delta) to the per-vertex incident-edge
+  /// counters and repairs the augmentation. One entry per vertex at most.
+  struct count_delta {
+    vertex_id v;
+    int32_t tree_delta;
+    int32_t nontree_delta;
+  };
+  void batch_add_counts(std::span<const count_delta> deltas);
+
+  // ------------------------------------------------------------------
+  // Queries (read-only phases)
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] bool has_edge(edge e) const {
+    return edge_map_.contains(edge_key(e.canonical()));
+  }
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> queries) const;
+
+  /// Representative handle: rep(u) == rep(v) iff u, v in the same tree.
+  /// Invalidated by any subsequent link/cut (paper §2.1).
+  [[nodiscard]] node* find_rep(vertex_id v) const;
+  [[nodiscard]] std::vector<node*> batch_find_rep(
+      std::span<const vertex_id> vs) const;
+
+  /// Component-wide augmented sums for v's tree.
+  [[nodiscard]] ett_counts component_counts(vertex_id v) const;
+  [[nodiscard]] uint32_t component_size(vertex_id v) const {
+    return component_counts(v).vertices;
+  }
+
+  /// The per-vertex stored counters (not component sums). For validation.
+  [[nodiscard]] ett_counts vertex_counts(vertex_id v) const;
+
+  /// Fetches, in tour order, vertices covering the first `want` incident
+  /// non-tree (resp. tree) edge slots of v's component. Each result entry
+  /// (x, c) means "take c edges from x's level-i non-tree (tree) adjacency
+  /// list". Sum of takes == min(want, component total). (Appendix 9.)
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_nontree(
+      vertex_id v, uint64_t want) const;
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_tree(
+      vertex_id v, uint64_t want) const;
+
+  /// All vertices of v's component, in tour order (diagnostics / tests;
+  /// O(component) work).
+  [[nodiscard]] std::vector<vertex_id> component_vertices(vertex_id v) const;
+
+  /// Verifies internal consistency (tests): tour circularity, augmentation
+  /// sums, edge-map agreement. Returns empty string if healthy.
+  [[nodiscard]] std::string check_consistency() const;
+
+ private:
+  struct edge_nodes {
+    node* fwd = nullptr;  // the arc (c.u, c.v) of the canonical edge c
+    node* rev = nullptr;  // the arc (c.v, c.u)
+  };
+
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_counted(
+      vertex_id v, uint64_t want, bool nontree) const;
+
+  skiplist list_;
+  std::vector<node*> vertex_nodes_;
+  phase_concurrent_map<edge_nodes> edge_map_;
+};
+
+}  // namespace bdc

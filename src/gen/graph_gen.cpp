@@ -1,0 +1,127 @@
+#include "gen/graph_gen.hpp"
+
+#include <unordered_set>
+
+#include "parallel/scheduler.hpp"
+#include "sequence/parallel_sort.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+
+namespace {
+
+/// Draws distinct canonical edges until `m` are collected.
+template <typename Draw>
+std::vector<edge> draw_distinct(size_t m, const Draw& draw) {
+  std::vector<edge> out;
+  out.reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(2 * m);
+  uint64_t i = 0;
+  while (out.size() < m) {
+    edge e = draw(i++).canonical();
+    if (e.is_self_loop()) continue;
+    if (seen.insert(edge_key(e)).second) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<edge> gen_erdos_renyi(vertex_id n, size_t m, uint64_t seed) {
+  assert(n >= 2);
+  assert(m <= static_cast<size_t>(n) * (n - 1) / 2);
+  random r(seed);
+  return draw_distinct(m, [&](uint64_t i) {
+    return edge{static_cast<vertex_id>(r.ith_rand(2 * i, n)),
+                static_cast<vertex_id>(r.ith_rand(2 * i + 1, n))};
+  });
+}
+
+std::vector<edge> gen_random_tree(vertex_id n, uint64_t seed) {
+  // Random attachment: vertex i links to a uniform earlier vertex.
+  random r(seed);
+  std::vector<edge> out;
+  out.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id i = 1; i < n; ++i) {
+    out.push_back(edge{static_cast<vertex_id>(r.ith_rand(i, i)), i});
+  }
+  return out;
+}
+
+std::vector<edge> gen_random_forest(vertex_id n, size_t trees,
+                                    uint64_t seed) {
+  // Partition [0, n) into `trees` contiguous chunks, each a random tree.
+  assert(trees >= 1 && trees <= n);
+  random r(seed);
+  std::vector<edge> out;
+  out.reserve(n - trees);
+  size_t chunk = (n + trees - 1) / trees;
+  for (size_t lo = 0; lo < n; lo += chunk) {
+    size_t hi = std::min<size_t>(n, lo + chunk);
+    for (size_t i = lo + 1; i < hi; ++i) {
+      vertex_id parent = static_cast<vertex_id>(
+          lo + r.ith_rand(i, i - lo));
+      out.push_back(edge{parent, static_cast<vertex_id>(i)});
+    }
+  }
+  return out;
+}
+
+std::vector<edge> gen_path(vertex_id n) {
+  std::vector<edge> out;
+  out.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id i = 1; i < n; ++i) out.push_back(edge{i - 1, i});
+  return out;
+}
+
+std::vector<edge> gen_star(vertex_id n) {
+  std::vector<edge> out;
+  out.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id i = 1; i < n; ++i) out.push_back(edge{0, i});
+  return out;
+}
+
+std::vector<edge> gen_grid(vertex_id rows, vertex_id cols) {
+  std::vector<edge> out;
+  out.reserve(2 * static_cast<size_t>(rows) * cols);
+  auto id = [&](vertex_id r, vertex_id c) { return r * cols + c; };
+  for (vertex_id r = 0; r < rows; ++r) {
+    for (vertex_id c = 0; c < cols; ++c) {
+      if (c + 1 < cols) out.push_back(edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) out.push_back(edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return out;
+}
+
+std::vector<edge> gen_rmat(vertex_id n, size_t m, uint64_t seed) {
+  uint32_t bits = log2_ceil(std::max<uint64_t>(2, n));
+  random r(seed);
+  auto draw = [&](uint64_t i) {
+    vertex_id u = 0, v = 0;
+    random cell = r.fork(i);
+    for (uint32_t b = 0; b < bits; ++b) {
+      // Quadrant probabilities a=0.57, b=0.19, c=0.19, d=0.05.
+      uint64_t x = cell.ith_rand(b, 100);
+      uint32_t qu = 0, qv = 0;
+      if (x < 57) {
+        qu = 0, qv = 0;
+      } else if (x < 76) {
+        qu = 0, qv = 1;
+      } else if (x < 95) {
+        qu = 1, qv = 0;
+      } else {
+        qu = 1, qv = 1;
+      }
+      u = (u << 1) | qu;
+      v = (v << 1) | qv;
+    }
+    // Fold into [0, n) to keep all ids valid for non-power-of-two n.
+    return edge{static_cast<vertex_id>(u % n), static_cast<vertex_id>(v % n)};
+  };
+  return draw_distinct(m, draw);
+}
+
+}  // namespace bdc

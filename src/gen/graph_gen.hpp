@@ -1,0 +1,38 @@
+// Synthetic graph generators — the evaluation substrate. The paper has no
+// dataset section (it is a theory paper), so benchmarks draw on standard
+// families: Erdős–Rényi G(n, m), uniform random forests/trees, paths,
+// grids, stars, and an RMAT-style power-law generator matching the skewed
+// degree distributions of the real-world streams the introduction cites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// m distinct uniform random edges over [0, n) (no self loops).
+std::vector<edge> gen_erdos_renyi(vertex_id n, size_t m, uint64_t seed);
+
+/// A uniform random spanning tree shape (random attachment): n-1 edges.
+std::vector<edge> gen_random_tree(vertex_id n, uint64_t seed);
+
+/// A forest of `trees` random trees partitioning [0, n).
+std::vector<edge> gen_random_forest(vertex_id n, size_t trees,
+                                    uint64_t seed);
+
+/// Path 0-1-2-...-(n-1).
+std::vector<edge> gen_path(vertex_id n);
+
+/// Star centered at 0.
+std::vector<edge> gen_star(vertex_id n);
+
+/// rows x cols grid, 4-neighborhood.
+std::vector<edge> gen_grid(vertex_id rows, vertex_id cols);
+
+/// RMAT-style recursive-matrix power-law graph with m distinct edges
+/// (a=0.57, b=c=0.19, d=0.05, the standard Graph500 parameters).
+std::vector<edge> gen_rmat(vertex_id n, size_t m, uint64_t seed);
+
+}  // namespace bdc

@@ -1,0 +1,104 @@
+#include "gen/update_stream.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace bdc {
+
+void shuffle_edges(std::vector<edge>& es, uint64_t seed) {
+  random r(seed);
+  for (size_t i = es.size(); i > 1; --i) {
+    std::swap(es[i - 1], es[r.ith_rand(i, i)]);
+  }
+}
+
+update_stream make_insertion_stream(const std::vector<edge>& graph,
+                                    size_t batch_size, uint64_t seed) {
+  std::vector<edge> es = graph;
+  shuffle_edges(es, seed);
+  update_stream stream;
+  for (size_t lo = 0; lo < es.size(); lo += batch_size) {
+    size_t hi = std::min(es.size(), lo + batch_size);
+    update_batch b;
+    b.op = update_batch::kind::insert;
+    b.edges.assign(es.begin() + static_cast<ptrdiff_t>(lo),
+                   es.begin() + static_cast<ptrdiff_t>(hi));
+    stream.push_back(std::move(b));
+  }
+  return stream;
+}
+
+update_stream make_deletion_stream(const std::vector<edge>& graph,
+                                   vertex_id n, size_t insert_batch_size,
+                                   size_t delete_batch_size,
+                                   size_t queries_per_batch, uint64_t seed) {
+  update_stream stream =
+      make_insertion_stream(graph, insert_batch_size, seed);
+  std::vector<edge> es = graph;
+  shuffle_edges(es, hash64(seed + 1));
+  random qr(hash64(seed + 2));
+  uint64_t qi = 0;
+  for (size_t lo = 0; lo < es.size(); lo += delete_batch_size) {
+    size_t hi = std::min(es.size(), lo + delete_batch_size);
+    update_batch b;
+    b.op = update_batch::kind::erase;
+    b.edges.assign(es.begin() + static_cast<ptrdiff_t>(lo),
+                   es.begin() + static_cast<ptrdiff_t>(hi));
+    stream.push_back(std::move(b));
+    if (queries_per_batch > 0) {
+      update_batch q;
+      q.op = update_batch::kind::query;
+      q.queries.reserve(queries_per_batch);
+      for (size_t j = 0; j < queries_per_batch; ++j) {
+        vertex_id a = static_cast<vertex_id>(qr.ith_rand(qi++, n));
+        vertex_id b2 = static_cast<vertex_id>(qr.ith_rand(qi++, n));
+        q.queries.push_back({a, b2});
+      }
+      stream.push_back(std::move(q));
+    }
+  }
+  return stream;
+}
+
+update_stream make_sliding_window_stream(const std::vector<edge>& graph,
+                                         size_t window, size_t batch,
+                                         uint64_t seed) {
+  std::vector<edge> es = graph;
+  shuffle_edges(es, seed);
+  update_stream stream;
+  size_t head = 0;  // next edge to insert
+  size_t tail = 0;  // next edge to delete
+  while (head < es.size()) {
+    size_t hi = std::min(es.size(), head + batch);
+    update_batch ins;
+    ins.op = update_batch::kind::insert;
+    ins.edges.assign(es.begin() + static_cast<ptrdiff_t>(head),
+                     es.begin() + static_cast<ptrdiff_t>(hi));
+    stream.push_back(std::move(ins));
+    head = hi;
+    if (head - tail > window) {
+      size_t del_hi = head - window;
+      update_batch del;
+      del.op = update_batch::kind::erase;
+      del.edges.assign(es.begin() + static_cast<ptrdiff_t>(tail),
+                       es.begin() + static_cast<ptrdiff_t>(del_hi));
+      stream.push_back(std::move(del));
+      tail = del_hi;
+    }
+  }
+  return stream;
+}
+
+std::vector<std::pair<vertex_id, vertex_id>> make_query_batch(
+    vertex_id n, size_t k, uint64_t seed) {
+  random r(seed);
+  std::vector<std::pair<vertex_id, vertex_id>> qs(k);
+  for (size_t i = 0; i < k; ++i) {
+    qs[i] = {static_cast<vertex_id>(r.ith_rand(2 * i, n)),
+             static_cast<vertex_id>(r.ith_rand(2 * i + 1, n))};
+  }
+  return qs;
+}
+
+}  // namespace bdc

@@ -1,0 +1,49 @@
+// Batched update-stream generators: turn a static graph into a sequence of
+// insertion/deletion/query batches with a controllable average deletion
+// batch size Δ — the parameter Theorem 9's O(lg n lg(1 + n/Δ)) bound is
+// stated in. Experiment E6 sweeps Δ with these streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bdc {
+
+struct update_batch {
+  enum class kind { insert, erase, query };
+  kind op = kind::insert;
+  std::vector<edge> edges;                                // insert/erase
+  std::vector<std::pair<vertex_id, vertex_id>> queries;   // query
+};
+
+using update_stream = std::vector<update_batch>;
+
+/// Inserts all of `graph` in batches of `batch_size`, in random order.
+update_stream make_insertion_stream(const std::vector<edge>& graph,
+                                    size_t batch_size, uint64_t seed);
+
+/// Inserts `graph`, then deletes every edge in random order in batches of
+/// `delete_batch_size` (the Δ knob), optionally interleaving `queries_per_
+/// batch` random connectivity queries after each deletion batch.
+update_stream make_deletion_stream(const std::vector<edge>& graph,
+                                   vertex_id n, size_t insert_batch_size,
+                                   size_t delete_batch_size,
+                                   size_t queries_per_batch, uint64_t seed);
+
+/// A sliding-window stream: keeps roughly `window` edges alive; each round
+/// inserts `batch` new edges of `graph` and deletes the `batch` oldest.
+/// Models the time-evolving streams of the paper's motivation ([32, 33]).
+update_stream make_sliding_window_stream(const std::vector<edge>& graph,
+                                         size_t window, size_t batch,
+                                         uint64_t seed);
+
+/// Uniform random query batches.
+std::vector<std::pair<vertex_id, vertex_id>> make_query_batch(
+    vertex_id n, size_t k, uint64_t seed);
+
+/// In-place Fisher–Yates with the library's deterministic RNG.
+void shuffle_edges(std::vector<edge>& es, uint64_t seed);
+
+}  // namespace bdc

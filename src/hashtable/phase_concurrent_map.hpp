@@ -1,0 +1,242 @@
+// Phase-concurrent open-addressing hash map (the paper's "parallel
+// dictionary", after Gil–Matias–Vishkin [23]; engineering follows the
+// phase-concurrent tables of Shun & Blelloch [55]).
+//
+// Contract (phase concurrency): within one parallel phase, all concurrent
+// operations are of one kind — inserts of *distinct* keys, erases of distinct
+// keys, in-place value updates of distinct keys, or read-only finds. Distinct
+// phases are separated by fork-join barriers, which every batch algorithm in
+// this library already has. Under that contract each slot has a single
+// writer, so values need no atomicity; only the key claim uses CAS.
+//
+// A batch of k operations costs O(k) expected work and O(lg k) depth w.h.p.
+// (the paper's dictionary achieves O(lg* k) depth; nothing downstream needs
+// sub-logarithmic depth — see DESIGN.md §4).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+
+template <typename V>
+class phase_concurrent_map {
+ public:
+  using key_type = uint64_t;
+  static constexpr key_type kEmpty = ~key_type{0};
+  static constexpr key_type kTombstone = ~key_type{0} - 1;
+
+  explicit phase_concurrent_map(size_t expected_size = 16) {
+    size_t cap = next_pow2(std::max<size_t>(16, expected_size * 2));
+    rebuild(cap);
+  }
+
+  phase_concurrent_map(const phase_concurrent_map&) = delete;
+  phase_concurrent_map& operator=(const phase_concurrent_map&) = delete;
+  phase_concurrent_map(phase_concurrent_map&& o) noexcept
+      : keys_(std::move(o.keys_)),
+        values_(std::move(o.values_)),
+        size_(o.size_.load(std::memory_order_relaxed)),
+        tombstones_since_rebuild_(
+            o.tombstones_since_rebuild_.load(std::memory_order_relaxed)),
+        tombstones_(o.tombstones_) {}
+  phase_concurrent_map& operator=(phase_concurrent_map&& o) noexcept {
+    keys_ = std::move(o.keys_);
+    values_ = std::move(o.values_);
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    tombstones_since_rebuild_.store(
+        o.tombstones_since_rebuild_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    tombstones_ = o.tombstones_;
+    return *this;
+  }
+
+  [[nodiscard]] size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t capacity() const { return keys_.size(); }
+
+  /// Ensures a subsequent phase of `extra` distinct-key inserts cannot
+  /// overflow (the table keeps at least half its slots truly empty, which
+  /// also bounds probe lengths). Must be called outside any concurrent
+  /// phase.
+  void reserve_for(size_t extra) {
+    size_t tombs = tombstones_since_rebuild_.load(std::memory_order_relaxed);
+    size_t needed = size() + tombs + extra;
+    if (2 * needed >= capacity()) {
+      rebuild(next_pow2(std::max<size_t>(16, 4 * (size() + extra))));
+    }
+  }
+
+  /// Inserts (k, v); returns true if the key was new. Safe concurrently with
+  /// other inserts of distinct keys. Keys kEmpty/kTombstone are reserved.
+  bool insert(key_type k, const V& v) {
+    assert(k != kEmpty && k != kTombstone);
+    size_t mask = keys_.size() - 1;
+    while (true) {
+      // Pass 1: walk the probe chain to the key or the first empty slot,
+      // remembering the first tombstone. Claiming a tombstone before
+      // confirming the key is absent further down the chain would create
+      // a duplicate entry.
+      size_t i = hash64(k) & mask;
+      size_t target = SIZE_MAX;  // first tombstone seen
+      while (true) {
+        key_type cur = keys_[i].load(std::memory_order_acquire);
+        if (cur == k) {
+          values_[i] = v;  // overwrite (single writer per key by contract)
+          return false;
+        }
+        if (cur == kEmpty) {
+          if (target == SIZE_MAX) target = i;
+          break;
+        }
+        if (cur == kTombstone && target == SIZE_MAX) target = i;
+        i = (i + 1) & mask;
+      }
+      // Pass 2: claim the slot, then write the value. Readers only access
+      // values in later phases (after a fork-join barrier orders the value
+      // write); writing the value before the CAS would let a racing insert
+      // of a different key clobber it.
+      key_type expected = keys_[target].load(std::memory_order_acquire);
+      if (expected != kEmpty && expected != kTombstone) continue;  // raced
+      if (keys_[target].compare_exchange_strong(expected, k,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        values_[target] = v;
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the claim to a racing insert (contract: of a different key);
+      // rescan from scratch.
+    }
+  }
+
+  /// Pointer to the value for k, or nullptr. Safe concurrently with other
+  /// finds and with value updates of other keys.
+  [[nodiscard]] V* find(key_type k) {
+    size_t mask = keys_.size() - 1;
+    size_t i = hash64(k) & mask;
+    while (true) {
+      key_type cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == k) return &values_[i];
+      if (cur == kEmpty) return nullptr;
+      i = (i + 1) & mask;
+    }
+  }
+  [[nodiscard]] const V* find(key_type k) const {
+    return const_cast<phase_concurrent_map*>(this)->find(k);
+  }
+  [[nodiscard]] bool contains(key_type k) const { return find(k) != nullptr; }
+
+  /// Erases k; returns true if present. Safe concurrently with erases of
+  /// distinct keys.
+  bool erase(key_type k) {
+    size_t mask = keys_.size() - 1;
+    size_t i = hash64(k) & mask;
+    while (true) {
+      key_type cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == k) {
+        keys_[i].store(kTombstone, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        tombstones_since_rebuild_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (cur == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Batch operations (these take care of reservation / compaction).
+  void insert_batch(std::span<const std::pair<key_type, V>> kvs) {
+    reserve_for(kvs.size());
+    parallel_for(0, kvs.size(),
+                 [&](size_t i) { insert(kvs[i].first, kvs[i].second); });
+  }
+  void erase_batch(std::span<const key_type> ks) {
+    parallel_for(0, ks.size(), [&](size_t i) { erase(ks[i]); });
+    maybe_compact();
+  }
+  std::vector<V*> find_batch(std::span<const key_type> ks) {
+    std::vector<V*> out(ks.size());
+    parallel_for(0, ks.size(), [&](size_t i) { out[i] = find(ks[i]); });
+    return out;
+  }
+
+  /// Applies f(key, value&) to every element, in parallel. Must not insert
+  /// or erase.
+  template <typename F>
+  void for_each(const F& f) {
+    parallel_for(0, keys_.size(), [&](size_t i) {
+      key_type k = keys_[i].load(std::memory_order_acquire);
+      if (k != kEmpty && k != kTombstone) f(k, values_[i]);
+    });
+  }
+  template <typename F>
+  void for_each(const F& f) const {
+    parallel_for(0, keys_.size(), [&](size_t i) {
+      key_type k = keys_[i].load(std::memory_order_acquire);
+      if (k != kEmpty && k != kTombstone) f(k, values_[i]);
+    });
+  }
+
+  /// All (key, value) pairs, in unspecified order.
+  [[nodiscard]] std::vector<std::pair<key_type, V>> entries() const {
+    std::vector<uint8_t> live(keys_.size());
+    parallel_for(0, keys_.size(), [&](size_t i) {
+      key_type k = keys_[i].load(std::memory_order_relaxed);
+      live[i] = (k != kEmpty && k != kTombstone) ? 1 : 0;
+    });
+    auto idx = pack_index(keys_.size(), [&](size_t i) { return live[i] != 0; });
+    std::vector<std::pair<key_type, V>> out(idx.size());
+    parallel_for(0, idx.size(), [&](size_t i) {
+      out[i] = {keys_[idx[i]].load(std::memory_order_relaxed),
+                values_[idx[i]]};
+    });
+    return out;
+  }
+
+ private:
+  void maybe_compact() {
+    size_t tombs = tombstones_since_rebuild_.load(std::memory_order_relaxed);
+    if (2 * (size() + tombs) >= capacity() && tombs > size() / 2) {
+      rebuild(next_pow2(std::max<size_t>(16, 4 * (size() + 1))));
+    }
+  }
+
+  void rebuild(size_t new_cap) {
+    auto old = entries_for_rebuild();
+    keys_ = std::vector<std::atomic<key_type>>(new_cap);
+    parallel_for(0, new_cap, [&](size_t i) {
+      keys_[i].store(kEmpty, std::memory_order_relaxed);
+    });
+    values_.assign(new_cap, V{});
+    size_.store(0, std::memory_order_relaxed);
+    tombstones_ = 0;
+    tombstones_since_rebuild_.store(0, std::memory_order_relaxed);
+    parallel_for(0, old.size(),
+                 [&](size_t i) { insert(old[i].first, old[i].second); });
+  }
+
+  [[nodiscard]] std::vector<std::pair<key_type, V>> entries_for_rebuild()
+      const {
+    if (keys_.empty()) return {};
+    return entries();
+  }
+
+  std::vector<std::atomic<key_type>> keys_;
+  std::vector<V> values_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> tombstones_since_rebuild_{0};
+  size_t tombstones_ = 0;
+};
+
+}  // namespace bdc

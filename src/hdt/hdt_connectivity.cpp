@@ -1,0 +1,213 @@
+// HDT deletion (paper §2.2 "Deleting an Edge"): when a tree edge of level
+// l is cut, search levels l..top. At level i, take the smaller of the two
+// split components, push all of its level-i tree edges to level i-1 (legal
+// by Invariant 1, required by Invariant 2), then examine its level-i
+// non-tree edges one at a time: a replacement reconnects and ends the
+// search; every non-replacement is pushed to level i-1, paying for its own
+// examination (the charging argument behind the O(lg^2 n) bound).
+#include "hdt/hdt_connectivity.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+
+hdt_connectivity::hdt_connectivity(vertex_id n, uint64_t seed)
+    : n_(n), seed_(seed) {
+  int levels = std::max(1, static_cast<int>(log2_ceil(std::max<uint64_t>(
+                               2, static_cast<uint64_t>(n)))));
+  levels_.resize(static_cast<size_t>(levels));
+  (void)forest(top());
+}
+
+treap_ett& hdt_connectivity::forest(int level) {
+  auto& slot = levels_[static_cast<size_t>(level)].forest;
+  if (!slot) {
+    slot = std::make_unique<treap_ett>(
+        n_, hash_combine(seed_, static_cast<uint64_t>(level)));
+  }
+  return *slot;
+}
+
+void hdt_connectivity::add_adj(int level, edge c, bool is_tree) {
+  auto& la = levels_[static_cast<size_t>(level)].adjacency;
+  record& rec = records_.at(edge_key(c));
+  auto append = [&](vertex_id w, int side) {
+    auto& list = la.lists[w][is_tree ? 0 : 1];
+    rec.pos[side] = static_cast<uint32_t>(list.size());
+    list.push_back(c);
+  };
+  append(c.u, 0);
+  append(c.v, 1);
+  forest(level).add_counts(c.u, is_tree ? 1 : 0, is_tree ? 0 : 1);
+  forest(level).add_counts(c.v, is_tree ? 1 : 0, is_tree ? 0 : 1);
+}
+
+void hdt_connectivity::remove_adj(int level, edge c) {
+  auto& la = levels_[static_cast<size_t>(level)].adjacency;
+  record& rec = records_.at(edge_key(c));
+  bool is_tree = rec.is_tree != 0;
+  auto detach = [&](vertex_id w, int side) {
+    auto& list = la.lists.at(w)[is_tree ? 0 : 1];
+    uint32_t slot = rec.pos[side];
+    assert(slot < list.size() && list[slot] == c);
+    edge moved = list.back();
+    list[slot] = moved;
+    list.pop_back();
+    if (moved != c) {
+      record& mrec = records_.at(edge_key(moved));
+      mrec.pos[moved.v == w ? 1 : 0] = slot;
+    }
+  };
+  detach(c.u, 0);
+  detach(c.v, 1);
+  forest(level).add_counts(c.u, is_tree ? -1 : 0, is_tree ? 0 : -1);
+  forest(level).add_counts(c.v, is_tree ? -1 : 0, is_tree ? 0 : -1);
+}
+
+edge hdt_connectivity::first_adj(int level, vertex_id w, bool is_tree) const {
+  const auto& la = levels_[static_cast<size_t>(level)].adjacency;
+  const auto& list = la.lists.at(w)[is_tree ? 0 : 1];
+  assert(!list.empty());
+  return list.front();
+}
+
+void hdt_connectivity::insert(edge e) {
+  edge c = e.canonical();
+  if (c.is_self_loop() || records_.count(edge_key(c))) return;
+  stats_.edges_inserted++;
+  int t = top();
+  bool is_tree = !forest(t).connected(c.u, c.v);
+  records_[edge_key(c)] = {static_cast<int16_t>(t),
+                           static_cast<uint8_t>(is_tree ? 1 : 0),
+                           {0, 0}};
+  if (is_tree) forest(t).link(c.u, c.v);
+  add_adj(t, c, is_tree);
+}
+
+void hdt_connectivity::erase(edge e) {
+  edge c = e.canonical();
+  auto it = records_.find(edge_key(c));
+  if (it == records_.end()) return;
+  stats_.edges_deleted++;
+  int level = it->second.level;
+  bool was_tree = it->second.is_tree != 0;
+  remove_adj(level, c);
+  records_.erase(it);
+  if (!was_tree) return;
+  stats_.tree_edges_deleted++;
+  for (int i = level; i <= top(); ++i) forest(i).cut(c.u, c.v);
+  replace(level, c.u, c.v);
+}
+
+void hdt_connectivity::replace(int level, vertex_id u, vertex_id v) {
+  for (int i = level; i <= top(); ++i) {
+    stats_.levels_searched++;
+    treap_ett& f = forest(i);
+    // Search the smaller side (size <= capacity(i)/2 = capacity(i-1)).
+    vertex_id x = f.component_size(u) <= f.component_size(v) ? u : v;
+    // Push the smaller side's level-i tree edges down (Invariant 2 prep).
+    if (i > 0) {
+      while (true) {
+        vertex_id w = f.find_tree_slot(x);
+        if (w == kNoVertex) break;
+        edge te = first_adj(i, w, /*is_tree=*/true);
+        remove_adj(i, te);
+        records_.at(edge_key(te)).level = static_cast<int16_t>(i - 1);
+        add_adj(i - 1, te, /*is_tree=*/true);
+        forest(i - 1).link(te.u, te.v);
+        stats_.edges_pushed++;
+      }
+    }
+    // Examine level-i non-tree edges one at a time.
+    while (true) {
+      vertex_id w = f.find_nontree_slot(x);
+      if (w == kNoVertex) break;  // exhausted: ascend
+      edge ne = first_adj(i, w, /*is_tree=*/false);
+      if (!f.connected(ne.u, ne.v)) {
+        // Replacement found: promote to a tree edge at level i and relink
+        // every forest from i to the top.
+        remove_adj(i, ne);
+        record& rec = records_.at(edge_key(ne));
+        rec.is_tree = 1;
+        add_adj(i, ne, /*is_tree=*/true);
+        for (int j = i; j <= top(); ++j) forest(j).link(ne.u, ne.v);
+        stats_.replacements_promoted++;
+        return;
+      }
+      // Not a replacement: the examination is paid for by a level
+      // decrease.
+      assert(i > 0 && "level-0 non-tree edge cannot be internal to a "
+                      "size-1 active side");
+      remove_adj(i, ne);
+      records_.at(edge_key(ne)).level = static_cast<int16_t>(i - 1);
+      add_adj(i - 1, ne, /*is_tree=*/false);
+      stats_.edges_pushed++;
+    }
+  }
+}
+
+bool hdt_connectivity::connected(vertex_id u, vertex_id v) const {
+  return forest_if(top())->connected(u, v);
+}
+
+bool hdt_connectivity::has_edge(edge e) const {
+  return records_.count(edge_key(e.canonical())) != 0;
+}
+
+std::vector<bool> hdt_connectivity::batch_connected(
+    std::span<const std::pair<vertex_id, vertex_id>> qs) const {
+  std::vector<bool> out(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i)
+    out[i] = connected(qs[i].first, qs[i].second);
+  return out;
+}
+
+std::string hdt_connectivity::check_invariants() const {
+  for (int i = 0; i <= top(); ++i) {
+    const treap_ett* f = forest_if(i);
+    if (f == nullptr) continue;
+    if (auto err = f->check_consistency(); !err.empty())
+      return "level " + std::to_string(i) + " treap: " + err;
+    // Invariant 1.
+    for (vertex_id v = 0; v < n_; ++v) {
+      if (f->component_size(v) > capacity(i))
+        return "Invariant 1 violated at level " + std::to_string(i);
+    }
+    // Counters match adjacency lists.
+    const auto& la = levels_[static_cast<size_t>(i)].adjacency;
+    for (vertex_id v = 0; v < n_; ++v) {
+      uint32_t td = 0, nd = 0;
+      auto it = la.lists.find(v);
+      if (it != la.lists.end()) {
+        td = static_cast<uint32_t>(it->second[0].size());
+        nd = static_cast<uint32_t>(it->second[1].size());
+      }
+      auto vc = f->vertex_counts(v);
+      if (vc.tree_edges != td || vc.nontree_edges != nd)
+        return "counter mismatch at level " + std::to_string(i);
+    }
+  }
+  // Edge placement and Invariant 2's cycle property.
+  for (auto& [key, rec] : records_) {
+    edge c = edge_from_key(key);
+    for (int i = 0; i <= top(); ++i) {
+      const treap_ett* f = forest_if(i);
+      bool should = rec.is_tree && rec.level <= i;
+      bool present = f != nullptr && f->has_edge(c.u, c.v);
+      if (should != present)
+        return "edge placement violated at level " + std::to_string(i);
+    }
+    if (!rec.is_tree) {
+      const treap_ett* f = forest_if(rec.level);
+      if (f == nullptr || !f->connected(c.u, c.v))
+        return "Invariant 2 violated (non-tree edge disconnected at its "
+               "level)";
+    }
+  }
+  return "";
+}
+
+}  // namespace bdc

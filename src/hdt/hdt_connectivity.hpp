@@ -1,0 +1,102 @@
+// The sequential Holm–de Lichtenberg–Thorup dynamic connectivity algorithm
+// (paper §2.2; [31]) — the baseline the parallel algorithm is measured
+// against. O(lg^2 n) amortized per edge update, O(lg n) per query.
+//
+// Implemented over the independent treap-based Euler tour trees so that it
+// can serve as a correctness oracle for the parallel structure in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hdt/treap_ett.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class hdt_connectivity {
+ public:
+  explicit hdt_connectivity(vertex_id n, uint64_t seed = 0x4d70);
+
+  [[nodiscard]] vertex_id num_vertices() const { return n_; }
+  [[nodiscard]] size_t num_edges() const { return records_.size(); }
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(levels_.size());
+  }
+
+  /// Inserts one edge; self-loops and duplicates are ignored.
+  void insert(edge e);
+  /// Deletes one edge; absent edges are ignored.
+  void erase(edge e);
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  [[nodiscard]] bool has_edge(edge e) const;
+
+  /// Sequential batch wrappers (for benchmark comparability).
+  void batch_insert(std::span<const edge> es) {
+    for (const edge& e : es) insert(e);
+  }
+  void batch_delete(std::span<const edge> es) {
+    for (const edge& e : es) erase(e);
+  }
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> qs) const;
+
+  struct statistics {
+    uint64_t edges_inserted = 0;
+    uint64_t edges_deleted = 0;
+    uint64_t tree_edges_deleted = 0;
+    uint64_t replacements_promoted = 0;
+    uint64_t edges_pushed = 0;
+    uint64_t levels_searched = 0;
+  };
+  [[nodiscard]] const statistics& stats() const { return stats_; }
+
+  /// Deep validation of the HDT invariants (tests).
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  struct record {
+    int16_t level;
+    uint8_t is_tree;
+    uint32_t pos[2];  // slot in canonical u's / v's list at `level`
+  };
+  struct level_adj {
+    // vertex -> [tree list, nontree list] of canonical edges.
+    std::unordered_map<vertex_id, std::array<std::vector<edge>, 2>> lists;
+  };
+  struct level_state {
+    std::unique_ptr<treap_ett> forest;
+    level_adj adjacency;
+  };
+
+  treap_ett& forest(int level);
+  [[nodiscard]] const treap_ett* forest_if(int level) const {
+    return levels_[static_cast<size_t>(level)].forest.get();
+  }
+  [[nodiscard]] uint64_t capacity(int level) const {
+    return uint64_t{1} << (level + 1);
+  }
+  [[nodiscard]] int top() const { return num_levels() - 1; }
+
+  void add_adj(int level, edge c, bool is_tree);
+  void remove_adj(int level, edge c);
+  /// First edge of the given kind incident to w at `level`.
+  [[nodiscard]] edge first_adj(int level, vertex_id w, bool is_tree) const;
+
+  /// Searches levels `level`..top for a replacement after deleting tree
+  /// edge (u, v); relinks if one exists.
+  void replace(int level, vertex_id u, vertex_id v);
+
+  vertex_id n_;
+  uint64_t seed_;
+  std::vector<level_state> levels_;
+  std::unordered_map<uint64_t, record> records_;
+  statistics stats_;
+};
+
+}  // namespace bdc

@@ -1,0 +1,329 @@
+#include "hdt/treap_ett.hpp"
+
+#include <cassert>
+
+namespace bdc {
+
+struct treap_ett::node {
+  node* parent = nullptr;
+  node* left = nullptr;
+  node* right = nullptr;
+  uint64_t priority = 0;
+  uint64_t tag = 0;  // vertex sentinel: vertex id; arc: arc key | kArcBit
+  counts own;        // nonzero only on sentinels
+  counts agg;        // subtree sum (own + children)
+  uint32_t subtree_nodes = 1;
+};
+
+namespace {
+constexpr uint64_t kArcBit = uint64_t{1} << 63;
+uint64_t arc_key(vertex_id t, vertex_id h) {
+  return kArcBit | (static_cast<uint64_t>(t) << 31) |
+         static_cast<uint64_t>(h);
+}
+}  // namespace
+
+treap_ett::treap_ett(vertex_id n, uint64_t seed)
+    : rng_(seed), sentinel_(n) {
+  for (vertex_id v = 0; v < n; ++v) {
+    sentinel_[v] = make_node(static_cast<uint64_t>(v));
+    sentinel_[v]->own.vertices = 1;
+    update(sentinel_[v]);
+  }
+}
+
+treap_ett::~treap_ett() {
+  for (node* s : sentinel_) delete s;
+  for (auto& [k, pr] : arcs_) {
+    delete pr.first;
+    delete pr.second;
+  }
+}
+
+treap_ett::node* treap_ett::make_node(uint64_t tag) {
+  node* x = new node;
+  x->tag = tag;
+  x->priority = rng_.ith_rand(counter_++);
+  return x;
+}
+
+void treap_ett::update(node* x) {
+  x->agg = x->own;
+  x->subtree_nodes = 1;
+  for (node* c : {x->left, x->right}) {
+    if (c == nullptr) continue;
+    x->agg.vertices += c->agg.vertices;
+    x->agg.tree_edges += c->agg.tree_edges;
+    x->agg.nontree_edges += c->agg.nontree_edges;
+    x->subtree_nodes += c->subtree_nodes;
+  }
+}
+
+treap_ett::node* treap_ett::root_of(node* x) {
+  while (x->parent != nullptr) x = x->parent;
+  return x;
+}
+
+treap_ett::node* treap_ett::merge(node* a, node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    node* r = merge(a->right, b);
+    a->right = r;
+    if (r) r->parent = a;
+    update(a);
+    return a;
+  }
+  node* l = merge(a, b->left);
+  b->left = l;
+  if (l) l->parent = b;
+  update(b);
+  return b;
+}
+
+std::pair<treap_ett::node*, treap_ett::node*> treap_ett::split_before(
+    node* x) {
+  // Left part: everything before x. Right part: x and after.
+  node* l = x->left;
+  if (l) {
+    l->parent = nullptr;
+    x->left = nullptr;
+    update(x);
+  }
+  node* r = x;
+  node* cur = x;
+  node* p = cur->parent;
+  cur->parent = nullptr;
+  while (p != nullptr) {
+    node* gp = p->parent;
+    p->parent = nullptr;
+    if (p->right == cur) {
+      // cur was p's right child: p and its left subtree precede cur.
+      p->right = nullptr;
+      update(p);
+      l = merge(p, l);
+    } else {
+      // cur was p's left child: p and its right subtree follow cur.
+      p->left = nullptr;
+      update(p);
+      r = merge(r, p);
+    }
+    cur = p;
+    p = gp;
+  }
+  return {l, r};
+}
+
+std::pair<treap_ett::node*, treap_ett::node*> treap_ett::split_after(
+    node* x) {
+  node* r = x->right;
+  if (r) {
+    r->parent = nullptr;
+    x->right = nullptr;
+    update(x);
+  }
+  node* l = x;
+  node* cur = x;
+  node* p = cur->parent;
+  cur->parent = nullptr;
+  while (p != nullptr) {
+    node* gp = p->parent;
+    p->parent = nullptr;
+    if (p->left == cur) {
+      // cur was p's left child: p and its right subtree follow cur.
+      p->left = nullptr;
+      update(p);
+      r = merge(r, p);
+    } else {
+      p->right = nullptr;
+      update(p);
+      l = merge(l, p);
+    }
+    cur = p;
+    p = gp;
+  }
+  return {l, r};
+}
+
+size_t treap_ett::rank_of(node* x) {
+  size_t rank = x->left ? x->left->subtree_nodes : 0;
+  node* cur = x;
+  node* p = x->parent;
+  while (p != nullptr) {
+    if (p->right == cur) {
+      rank += 1 + (p->left ? p->left->subtree_nodes : 0);
+    }
+    cur = p;
+    p = p->parent;
+  }
+  return rank;
+}
+
+treap_ett::node* treap_ett::reroot(vertex_id v) {
+  node* s = sentinel_[v];
+  auto [before, from] = split_before(s);
+  return merge(from, before);
+}
+
+void treap_ett::link(vertex_id u, vertex_id v) {
+  assert(!connected(u, v));
+  node* tu = reroot(u);
+  node* tv = reroot(v);
+  node* uv = make_node(arc_key(u, v));
+  node* vu = make_node(arc_key(v, u));
+  update(uv);
+  update(vu);
+  arcs_.emplace(edge_key(edge{u, v}.canonical()), std::make_pair(uv, vu));
+  merge(merge(tu, uv), merge(tv, vu));
+}
+
+void treap_ett::cut(vertex_id u, vertex_id v) {
+  auto it = arcs_.find(edge_key(edge{u, v}.canonical()));
+  assert(it != arcs_.end());
+  node* a = it->second.first;
+  node* b = it->second.second;
+  arcs_.erase(it);
+  if (rank_of(a) > rank_of(b)) std::swap(a, b);
+  // Tour = L a M b R  ->  trees (L R) and (M).
+  auto [la, xa] = split_before(a);        // la = L, xa = a M b R
+  auto [xm, xb] = split_before(b);        // xm = a M, xb = b R
+  (void)xa;
+  auto [aa, m] = split_after(a);          // aa = a, m = M
+  auto [bb, r] = split_after(b);          // bb = b, r = R
+  (void)xm;
+  (void)xb;
+  assert(aa == a && bb == b);
+  merge(la, r);
+  (void)m;
+  delete a;
+  delete b;
+}
+
+bool treap_ett::connected(vertex_id u, vertex_id v) const {
+  return root_of(sentinel_[u]) == root_of(sentinel_[v]);
+}
+
+bool treap_ett::has_edge(vertex_id u, vertex_id v) const {
+  return arcs_.count(edge_key(edge{u, v}.canonical())) != 0;
+}
+
+uint32_t treap_ett::component_size(vertex_id v) const {
+  return root_of(sentinel_[v])->agg.vertices;
+}
+
+treap_ett::counts treap_ett::component_counts(vertex_id v) const {
+  return root_of(sentinel_[v])->agg;
+}
+
+treap_ett::counts treap_ett::vertex_counts(vertex_id v) const {
+  return sentinel_[v]->own;
+}
+
+void treap_ett::add_counts(vertex_id v, int32_t tree_delta,
+                           int32_t nontree_delta) {
+  node* s = sentinel_[v];
+  assert(static_cast<int64_t>(s->own.tree_edges) + tree_delta >= 0);
+  assert(static_cast<int64_t>(s->own.nontree_edges) + nontree_delta >= 0);
+  s->own.tree_edges =
+      static_cast<uint32_t>(static_cast<int64_t>(s->own.tree_edges) +
+                            tree_delta);
+  s->own.nontree_edges =
+      static_cast<uint32_t>(static_cast<int64_t>(s->own.nontree_edges) +
+                            nontree_delta);
+  for (node* x = s; x != nullptr; x = x->parent) update(x);
+}
+
+namespace {
+template <typename Get>
+treap_ett::node* descend(treap_ett::node* x, const Get& get);
+}
+
+vertex_id treap_ett::find_tree_slot(vertex_id v) const {
+  node* root = root_of(sentinel_[v]);
+  if (root->agg.tree_edges == 0) return kNoVertex;
+  node* cur = root;
+  while (true) {
+    if (cur->left && cur->left->agg.tree_edges > 0) {
+      cur = cur->left;
+    } else if (cur->own.tree_edges > 0) {
+      return static_cast<vertex_id>(cur->tag);
+    } else {
+      cur = cur->right;
+    }
+  }
+}
+
+vertex_id treap_ett::find_nontree_slot(vertex_id v) const {
+  node* root = root_of(sentinel_[v]);
+  if (root->agg.nontree_edges == 0) return kNoVertex;
+  node* cur = root;
+  while (true) {
+    if (cur->left && cur->left->agg.nontree_edges > 0) {
+      cur = cur->left;
+    } else if (cur->own.nontree_edges > 0) {
+      return static_cast<vertex_id>(cur->tag);
+    } else {
+      cur = cur->right;
+    }
+  }
+}
+
+std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
+  std::vector<vertex_id> out;
+  // Iterative in-order walk from the root.
+  std::vector<std::pair<node*, bool>> stack{{root_of(sentinel_[v]), false}};
+  while (!stack.empty()) {
+    auto [x, expanded] = stack.back();
+    stack.pop_back();
+    if (x == nullptr) continue;
+    if (expanded) {
+      if ((x->tag & kArcBit) == 0) out.push_back(static_cast<vertex_id>(x->tag));
+    } else {
+      stack.push_back({x->right, false});
+      stack.push_back({x, true});
+      stack.push_back({x->left, false});
+    }
+  }
+  return out;
+}
+
+std::string treap_ett::check_consistency() const {
+  // Validate every treap reachable from a sentinel.
+  std::unordered_map<node*, bool> seen_root;
+  for (node* s : sentinel_) {
+    node* root = root_of(s);
+    if (seen_root.count(root)) continue;
+    seen_root[root] = true;
+    // Recursive structural check.
+    std::vector<node*> stack{root};
+    counts total{};
+    uint32_t nodes = 0;
+    while (!stack.empty()) {
+      node* x = stack.back();
+      stack.pop_back();
+      ++nodes;
+      counts agg = x->own;
+      for (node* c : {x->left, x->right}) {
+        if (c == nullptr) continue;
+        if (c->parent != x) return "parent pointer mismatch";
+        if (c->priority > x->priority) return "heap order violated";
+        agg.vertices += c->agg.vertices;
+        agg.tree_edges += c->agg.tree_edges;
+        agg.nontree_edges += c->agg.nontree_edges;
+        stack.push_back(c);
+      }
+      if (agg.vertices != x->agg.vertices ||
+          agg.tree_edges != x->agg.tree_edges ||
+          agg.nontree_edges != x->agg.nontree_edges)
+        return "aggregate mismatch";
+      total = x == root ? x->agg : total;
+    }
+    if (nodes != root->subtree_nodes) return "subtree count mismatch";
+    // Tour shape: k vertices, 2(k-1) arcs.
+    if (root->subtree_nodes != 3 * total.vertices - 2)
+      return "tour length mismatch";
+  }
+  return "";
+}
+
+}  // namespace bdc

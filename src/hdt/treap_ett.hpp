@@ -1,0 +1,88 @@
+// Sequential Euler tour trees over treaps — the substrate of the HDT
+// baseline (paper §2.2; Henzinger-King [27], Miltersen et al. [41]).
+//
+// Entirely independent of the parallel skip-list ETT so the two can
+// cross-validate each other in tests. Each tree's Euler tour is a treap
+// sequence over arc nodes (u,v)/(v,u) plus one sentinel node (v,v) per
+// vertex; link/cut are O(lg n) expected via split/join, and the treap is
+// augmented with subtree counts of vertices and of per-level incident
+// tree/non-tree edges (on the sentinel nodes) to support the HDT searches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class treap_ett {
+ public:
+  struct counts {
+    uint32_t vertices = 0;
+    uint32_t tree_edges = 0;     // incident level-i tree edge slots
+    uint32_t nontree_edges = 0;  // incident level-i non-tree edge slots
+  };
+
+  explicit treap_ett(vertex_id n, uint64_t seed = 0x7e47);
+  ~treap_ett();
+
+  treap_ett(const treap_ett&) = delete;
+  treap_ett& operator=(const treap_ett&) = delete;
+
+  /// Links u and v (must be in different trees).
+  void link(vertex_id u, vertex_id v);
+  /// Cuts the tree edge (u, v) (must be present).
+  void cut(vertex_id u, vertex_id v);
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  [[nodiscard]] bool has_edge(vertex_id u, vertex_id v) const;
+
+  /// Number of vertices in v's tree.
+  [[nodiscard]] uint32_t component_size(vertex_id v) const;
+  /// Component-wide counter sums.
+  [[nodiscard]] counts component_counts(vertex_id v) const;
+  /// Adjusts v's per-vertex counters.
+  void add_counts(vertex_id v, int32_t tree_delta, int32_t nontree_delta);
+  [[nodiscard]] counts vertex_counts(vertex_id v) const;
+
+  /// Some vertex in v's tree with a nonzero tree (resp. non-tree) counter,
+  /// or kNoVertex. O(lg n) expected via augmented descent.
+  [[nodiscard]] vertex_id find_tree_slot(vertex_id v) const;
+  [[nodiscard]] vertex_id find_nontree_slot(vertex_id v) const;
+
+  /// All vertices of v's tree, in tour order (tests; O(size)).
+  [[nodiscard]] std::vector<vertex_id> component_vertices(vertex_id v) const;
+
+  [[nodiscard]] size_t num_edges() const { return arcs_.size() / 2; }
+
+  /// Structural validation (tests): parent/child coherence, heap order,
+  /// aggregate sums, tour well-formedness. Empty string if healthy.
+  [[nodiscard]] std::string check_consistency() const;
+
+ private:
+  struct node;
+
+  node* make_node(uint64_t tag);
+  static void update(node* x);
+  [[nodiscard]] static node* root_of(node* x);
+  /// Merges two treap sequences (all of a before all of b).
+  static node* merge(node* a, node* b);
+  /// Splits so that x begins the right part. Returns {left, right}.
+  static std::pair<node*, node*> split_before(node* x);
+  /// Splits so that x ends the left part. Returns {left, right}.
+  static std::pair<node*, node*> split_after(node* x);
+  /// In-order rank of x within its treap (for arc ordering in cut).
+  [[nodiscard]] static size_t rank_of(node* x);
+  /// Rotates v's tour so it starts at v's sentinel.
+  node* reroot(vertex_id v);
+
+  random rng_;
+  uint64_t counter_ = 0;
+  std::vector<node*> sentinel_;               // (v,v) node per vertex
+  std::unordered_map<uint64_t, std::pair<node*, node*>> arcs_;  // per edge
+};
+
+}  // namespace bdc

@@ -1,0 +1,229 @@
+#include "lct/link_cut_tree.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace bdc {
+
+link_cut_tree::link_cut_tree(vertex_id n) : n_(n), nodes_(n) {
+  for (vertex_id v = 0; v < n; ++v) {
+    nodes_[v].is_edge = false;
+    nodes_[v].max_in_subtree = kNull;
+  }
+}
+
+bool link_cut_tree::is_splay_root(node_ref x) const {
+  node_ref p = nodes_[x].parent;
+  return p == kNull ||
+         (nodes_[p].child[0] != x && nodes_[p].child[1] != x);
+}
+
+int link_cut_tree::side_of(node_ref x) const {
+  return nodes_[nodes_[x].parent].child[1] == x ? 1 : 0;
+}
+
+void link_cut_tree::push_down(node_ref x) {
+  if (!nodes_[x].reversed) return;
+  nodes_[x].reversed = false;
+  std::swap(nodes_[x].child[0], nodes_[x].child[1]);
+  for (node_ref c : nodes_[x].child) {
+    if (c != kNull) nodes_[c].reversed = !nodes_[c].reversed;
+  }
+}
+
+void link_cut_tree::pull_up(node_ref x) {
+  node_ref best = nodes_[x].is_edge ? x : kNull;
+  uint64_t best_w = nodes_[x].is_edge ? nodes_[x].weight : 0;
+  for (node_ref c : nodes_[x].child) {
+    if (c == kNull) continue;
+    node_ref cm = nodes_[c].max_in_subtree;
+    if (cm != kNull && (best == kNull || nodes_[cm].weight > best_w)) {
+      best = cm;
+      best_w = nodes_[cm].weight;
+    }
+  }
+  nodes_[x].max_in_subtree = best;
+}
+
+void link_cut_tree::rotate(node_ref x) {
+  node_ref p = nodes_[x].parent;
+  node_ref g = nodes_[p].parent;
+  int s = side_of(x);
+  bool p_root = is_splay_root(p);
+  int ps = p_root ? 0 : side_of(p);
+
+  node_ref b = nodes_[x].child[1 - s];
+  nodes_[p].child[s] = b;
+  if (b != kNull) nodes_[b].parent = p;
+  nodes_[x].child[1 - s] = p;
+  nodes_[p].parent = x;
+  nodes_[x].parent = g;
+  if (!p_root) nodes_[g].child[ps] = x;
+  pull_up(p);
+  pull_up(x);
+}
+
+void link_cut_tree::splay(node_ref x) {
+  // Push reversal flags down the access path first.
+  {
+    std::vector<node_ref> path;
+    node_ref cur = x;
+    path.push_back(cur);
+    while (!is_splay_root(cur)) {
+      cur = nodes_[cur].parent;
+      path.push_back(cur);
+    }
+    for (size_t i = path.size(); i-- > 0;) push_down(path[i]);
+  }
+  while (!is_splay_root(x)) {
+    node_ref p = nodes_[x].parent;
+    if (!is_splay_root(p)) {
+      if (side_of(x) == side_of(p)) {
+        rotate(p);  // zig-zig
+      } else {
+        rotate(x);  // zig-zag
+      }
+    }
+    rotate(x);
+  }
+}
+
+void link_cut_tree::access(node_ref x) {
+  splay(x);
+  // Detach the deeper part of the preferred path.
+  if (nodes_[x].child[1] != kNull) {
+    // Right child keeps x as its path-parent (pointer unchanged, but no
+    // longer a splay child).
+    nodes_[x].child[1] = kNull;
+    pull_up(x);
+  }
+  while (nodes_[x].parent != kNull) {
+    node_ref p = nodes_[x].parent;
+    splay(p);
+    nodes_[p].child[1] = x;  // x keeps parent pointer; becomes splay child
+    pull_up(p);
+    splay(x);
+  }
+}
+
+void link_cut_tree::evert(node_ref x) {
+  access(x);
+  nodes_[x].reversed = !nodes_[x].reversed;
+  push_down(x);
+}
+
+link_cut_tree::node_ref link_cut_tree::find_root(node_ref x) {
+  access(x);
+  node_ref cur = x;
+  while (true) {
+    push_down(cur);
+    if (nodes_[cur].child[0] == kNull) break;
+    cur = nodes_[cur].child[0];
+  }
+  splay(cur);
+  return cur;
+}
+
+void link_cut_tree::link(vertex_id u, vertex_id v, uint64_t w) {
+  assert(!connected(u, v));
+  node_ref e;
+  if (!free_list_.empty()) {
+    e = free_list_.back();
+    free_list_.pop_back();
+    nodes_[e] = node{};
+  } else {
+    e = static_cast<node_ref>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[e].is_edge = true;
+  nodes_[e].weight = w;
+  nodes_[e].tag = edge{u, v}.canonical();
+  nodes_[e].max_in_subtree = e;
+  edge_of_.emplace(edge_key(nodes_[e].tag), e);
+  // Attach via path-parent pointers: tree(u) hangs under e, e under v.
+  evert(u);
+  nodes_[u].parent = e;
+  evert(e);
+  nodes_[e].parent = v;
+}
+
+void link_cut_tree::cut(vertex_id u, vertex_id v) {
+  auto it = edge_of_.find(edge_key(edge{u, v}.canonical()));
+  assert(it != edge_of_.end());
+  node_ref e = it->second;
+  edge_of_.erase(it);
+  // Put the u..v path in one splay tree with e inside, then detach e's
+  // splay children: each becomes its own represented tree.
+  evert(u);
+  access(e);
+  // After access(e), e is the splay root of the path u..e; its left
+  // subtree is everything between u and e. v is reachable via e's former
+  // path... splay e once more after accessing v to capture both sides.
+  access(v);
+  splay(e);
+  for (int s = 0; s < 2; ++s) {
+    node_ref c = nodes_[e].child[s];
+    if (c != kNull) {
+      nodes_[c].parent = kNull;
+      nodes_[e].child[s] = kNull;
+    }
+  }
+  pull_up(e);
+  nodes_[e] = node{};
+  free_list_.push_back(e);
+}
+
+bool link_cut_tree::has_edge(vertex_id u, vertex_id v) const {
+  return edge_of_.count(edge_key(edge{u, v}.canonical())) != 0;
+}
+
+bool link_cut_tree::connected(vertex_id u, vertex_id v) {
+  if (u == v) return true;
+  return find_root(u) == find_root(v);
+}
+
+link_cut_tree::path_max_result link_cut_tree::path_max(vertex_id u,
+                                                       vertex_id v) {
+  if (u == v || !connected(u, v)) return {};
+  evert(u);
+  access(v);
+  splay(v);
+  node_ref m = nodes_[v].max_in_subtree;
+  assert(m != kNull);  // a nonempty path contains at least one edge node
+  return {true, nodes_[m].weight, nodes_[m].tag};
+}
+
+std::string link_cut_tree::check_consistency() {
+  for (node_ref x = 0; x < nodes_.size(); ++x) {
+    const node& nd = nodes_[x];
+    for (node_ref c : nd.child) {
+      if (c == kNull) continue;
+      if (nodes_[c].parent != x) return "child/parent mismatch";
+    }
+  }
+  // Aggregates: recompute max bottom-up per splay tree.
+  for (node_ref x = 0; x < nodes_.size(); ++x) {
+    node_ref best = nodes_[x].is_edge ? x : kNull;
+    for (node_ref c : nodes_[x].child) {
+      if (c == kNull) continue;
+      node_ref cm = nodes_[c].max_in_subtree;
+      if (cm != kNull &&
+          (best == kNull || nodes_[cm].weight > nodes_[best].weight)) {
+        best = cm;
+      }
+    }
+    node_ref got = nodes_[x].max_in_subtree;
+    if ((best == kNull) != (got == kNull)) return "aggregate null mismatch";
+    if (best != kNull && nodes_[got].weight != nodes_[best].weight)
+      return "aggregate weight mismatch";
+  }
+  // Every registered edge node is an edge and vice versa (outside the
+  // free list).
+  for (auto& [key, e] : edge_of_) {
+    if (!nodes_[e].is_edge) return "edge map points at non-edge node";
+    if (edge_key(nodes_[e].tag) != key) return "edge tag mismatch";
+  }
+  return "";
+}
+
+}  // namespace bdc

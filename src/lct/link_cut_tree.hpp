@@ -1,0 +1,84 @@
+// Link-cut trees (Sleator–Tarjan) with path-maximum queries — the "dynamic
+// tree structure extended with additional primitives" the paper's §6 calls
+// for to attack batch-dynamic MST: Euler tour trees cannot answer path
+// queries, so the MSF extension (src/msf/) stands on this structure
+// instead.
+//
+// Splay-based implementation with edges represented as nodes (the standard
+// trick for edge-weighted path aggregates under rerooting): a tree edge
+// (u, v, w) becomes a degree-2 node carrying weight w, so evert/link/cut
+// never have to move weights between endpoints. All operations are
+// amortized O(lg n).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bdc {
+
+class link_cut_tree {
+ public:
+  /// A path-maximum result.
+  struct path_max_result {
+    bool connected = false;  // false => no path, fields below invalid
+    uint64_t weight = 0;     // maximum edge weight on the path
+    edge max_edge{};         // an edge achieving it
+  };
+
+  /// Forest over vertices [0, n), initially edgeless.
+  explicit link_cut_tree(vertex_id n);
+
+  [[nodiscard]] size_t num_vertices() const { return n_; }
+  [[nodiscard]] size_t num_edges() const { return edge_of_.size(); }
+
+  /// Links u and v (must be in different trees) with an edge of weight w.
+  void link(vertex_id u, vertex_id v, uint64_t w);
+  /// Cuts the tree edge (u, v) (must be present).
+  void cut(vertex_id u, vertex_id v);
+  [[nodiscard]] bool has_edge(vertex_id u, vertex_id v) const;
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v);
+
+  /// Maximum-weight edge on the u..v tree path (u != v).
+  path_max_result path_max(vertex_id u, vertex_id v);
+
+  /// Validation (tests): splay/path-parent structure coherence and
+  /// aggregate correctness. Empty string when healthy.
+  [[nodiscard]] std::string check_consistency();
+
+ private:
+  using node_ref = uint32_t;
+  static constexpr node_ref kNull = UINT32_MAX;
+
+  struct node {
+    node_ref child[2] = {kNull, kNull};
+    node_ref parent = kNull;  // splay parent or path-parent
+    bool reversed = false;
+    bool is_edge = false;
+    uint64_t weight = 0;    // edge weight (0 on vertex nodes)
+    node_ref max_in_subtree = kNull;  // node with max edge weight in splay
+                                      // subtree (kNull if none)
+    edge tag{};             // for edge nodes: the original endpoints
+  };
+
+  [[nodiscard]] bool is_splay_root(node_ref x) const;
+  [[nodiscard]] int side_of(node_ref x) const;
+  void push_down(node_ref x);
+  void pull_up(node_ref x);
+  void rotate(node_ref x);
+  void splay(node_ref x);
+  /// Makes the path root..x preferred and splays x to its top.
+  void access(node_ref x);
+  /// Makes x the root of its represented tree.
+  void evert(node_ref x);
+  node_ref find_root(node_ref x);
+
+  vertex_id n_;
+  std::vector<node> nodes_;
+  std::vector<node_ref> free_list_;  // recycled edge-node slots
+  std::unordered_map<uint64_t, node_ref> edge_of_;  // canonical key -> node
+};
+
+}  // namespace bdc

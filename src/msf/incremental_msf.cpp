@@ -1,0 +1,98 @@
+#include "msf/incremental_msf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bdc {
+
+incremental_msf::incremental_msf(vertex_id n) : n_(n), lct_(n) {}
+
+bool incremental_msf::has_edge(edge e) const {
+  uint64_t k = edge_key(e.canonical());
+  return forest_weight_of_.count(k) != 0 || nonforest_.count(k) != 0;
+}
+
+void incremental_msf::insert_one(weighted_edge we) {
+  edge c = we.e.canonical();
+  if (c.is_self_loop() || has_edge(c)) return;
+  uint64_t key = edge_key(c);
+  if (!lct_.connected(c.u, c.v)) {
+    lct_.link(c.u, c.v, we.weight);
+    forest_weight_of_[key] = we.weight;
+    msf_weight_ += we.weight;
+    return;
+  }
+  auto pm = lct_.path_max(c.u, c.v);
+  assert(pm.connected);
+  if (pm.weight <= we.weight) {
+    nonforest_[key] = we.weight;  // new edge is not an improvement
+    return;
+  }
+  // Exchange: evict the heaviest path edge, admit the new one.
+  lct_.cut(pm.max_edge.u, pm.max_edge.v);
+  uint64_t evicted_key = edge_key(pm.max_edge);
+  forest_weight_of_.erase(evicted_key);
+  nonforest_[evicted_key] = pm.weight;
+  msf_weight_ -= pm.weight;
+  lct_.link(c.u, c.v, we.weight);
+  forest_weight_of_[key] = we.weight;
+  msf_weight_ += we.weight;
+}
+
+void incremental_msf::batch_insert(std::span<const weighted_edge> batch) {
+  // Kruskal-style presort: within the batch, lighter edges settle first,
+  // so no batch edge is ever evicted by a later batch edge.
+  std::vector<weighted_edge> sorted(batch.begin(), batch.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const weighted_edge& a, const weighted_edge& b) {
+              return a.weight < b.weight;
+            });
+  for (const weighted_edge& we : sorted) insert_one(we);
+}
+
+bool incremental_msf::erase_nonforest(edge e) {
+  return nonforest_.erase(edge_key(e.canonical())) != 0;
+}
+
+bool incremental_msf::erase(edge e) {
+  edge c = e.canonical();
+  uint64_t key = edge_key(c);
+  if (nonforest_.erase(key) != 0) return true;
+  auto it = forest_weight_of_.find(key);
+  if (it == forest_weight_of_.end()) return false;
+  uint64_t w = it->second;
+  forest_weight_of_.erase(it);
+  msf_weight_ -= w;
+  lct_.cut(c.u, c.v);
+  // Reference replacement scan: lightest non-forest edge reconnecting the
+  // two sides. (Fully dynamic MSF would use HDT-MSF levels here.)
+  uint64_t best_key = 0, best_w = 0;
+  bool found = false;
+  for (auto& [k, wk] : nonforest_) {
+    edge cand = edge_from_key(k);
+    if (lct_.connected(cand.u, cand.v)) continue;  // within one side
+    if (!found || wk < best_w) {
+      found = true;
+      best_key = k;
+      best_w = wk;
+    }
+  }
+  if (found) {
+    edge r = edge_from_key(best_key);
+    nonforest_.erase(best_key);
+    lct_.link(r.u, r.v, best_w);
+    forest_weight_of_[best_key] = best_w;
+    msf_weight_ += best_w;
+  }
+  return true;
+}
+
+std::vector<weighted_edge> incremental_msf::forest_edges() const {
+  std::vector<weighted_edge> out;
+  out.reserve(forest_weight_of_.size());
+  for (auto& [k, w] : forest_weight_of_)
+    out.push_back({edge_from_key(k), w});
+  return out;
+}
+
+}  // namespace bdc

@@ -1,0 +1,51 @@
+// Lifetime management for the process-wide scheduler runtime, including the
+// ability to rebuild the pool with a different worker count (used by the
+// thread-scaling benchmarks). Rebuilding is only legal while no parallel
+// work is in flight.
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "parallel/scheduler.hpp"
+
+namespace bdc {
+namespace internal {
+namespace {
+
+std::unique_ptr<scheduler_runtime> g_runtime;
+std::mutex g_runtime_mutex;
+
+unsigned default_worker_count() {
+  if (const char* env = std::getenv("BDC_NUM_WORKERS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+}  // namespace
+
+scheduler_runtime& scheduler_instance() {
+  // Fast path: already constructed. The pointer is only ever replaced from
+  // set_num_workers(), which the caller guarantees is quiescent.
+  if (g_runtime) return *g_runtime;
+  std::lock_guard<std::mutex> lock(g_runtime_mutex);
+  if (!g_runtime) {
+    g_runtime = std::make_unique<scheduler_runtime>(default_worker_count());
+  }
+  return *g_runtime;
+}
+
+}  // namespace internal
+
+void set_num_workers(unsigned p) {
+  std::lock_guard<std::mutex> lock(internal::g_runtime_mutex);
+  if (internal::g_runtime && internal::g_runtime->num_workers() == p) return;
+  internal::g_runtime.reset();  // joins all pool threads
+  internal::g_runtime =
+      std::make_unique<internal::scheduler_runtime>(p == 0 ? 1 : p);
+}
+
+}  // namespace bdc

@@ -1,0 +1,79 @@
+// Parallel comparison sort: mergesort with divide-and-conquer parallel merge
+// (O(n lg n) work, O(lg^2 n) depth). Used for deduplication and for
+// deterministic ordering of small edge sets; the semisort in semisort.hpp is
+// the linear-work workhorse for grouping.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace bdc {
+
+namespace internal {
+
+inline constexpr size_t kSortBase = 4096;
+inline constexpr size_t kMergeBase = 4096;
+
+/// Merges [a_lo,a_hi) and [b_lo,b_hi) of `src` into `dst` starting at out.
+template <typename It, typename OutIt, typename Cmp>
+void parallel_merge(It a_lo, It a_hi, It b_lo, It b_hi, OutIt out,
+                    const Cmp& cmp) {
+  size_t na = static_cast<size_t>(a_hi - a_lo);
+  size_t nb = static_cast<size_t>(b_hi - b_lo);
+  if (na + nb <= kMergeBase) {
+    std::merge(a_lo, a_hi, b_lo, b_hi, out, cmp);
+    return;
+  }
+  if (na < nb) {  // split on the larger side
+    parallel_merge(b_lo, b_hi, a_lo, a_hi, out, cmp);
+    return;
+  }
+  It a_mid = a_lo + static_cast<ptrdiff_t>(na / 2);
+  It b_mid = std::lower_bound(b_lo, b_hi, *a_mid, cmp);
+  OutIt out_mid = out + (a_mid - a_lo) + (b_mid - b_lo);
+  parallel_invoke(
+      [&] { parallel_merge(a_lo, a_mid, b_lo, b_mid, out, cmp); },
+      [&] { parallel_merge(a_mid, a_hi, b_mid, b_hi, out_mid, cmp); });
+}
+
+/// Sorts [lo, hi) of `a`; result lands in `a` if `to_a`, else in `buf`.
+template <typename T, typename Cmp>
+void mergesort_rec(T* a, T* buf, size_t lo, size_t hi, bool to_a,
+                   const Cmp& cmp) {
+  if (hi - lo <= kSortBase) {
+    std::sort(a + lo, a + hi, cmp);
+    if (!to_a) std::copy(a + lo, a + hi, buf + lo);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  parallel_invoke([&] { mergesort_rec(a, buf, lo, mid, !to_a, cmp); },
+                  [&] { mergesort_rec(a, buf, mid, hi, !to_a, cmp); });
+  T* src = to_a ? buf : a;
+  T* dst = to_a ? a : buf;
+  parallel_merge(src + lo, src + mid, src + mid, src + hi, dst + lo, cmp);
+}
+
+}  // namespace internal
+
+/// Stable-order-irrelevant parallel sort.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Cmp cmp = {}) {
+  if (v.size() <= internal::kSortBase) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::vector<T> buf(v.size());
+  internal::mergesort_rec(v.data(), buf.data(), 0, v.size(), true, cmp);
+}
+
+/// Sorts and removes duplicates.
+template <typename T, typename Cmp = std::less<T>>
+void sort_unique(std::vector<T>& v, Cmp cmp = {}) {
+  parallel_sort(v, cmp);
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace bdc

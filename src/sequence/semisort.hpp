@@ -1,0 +1,149 @@
+// Parallel semisort / group-by (Gu, Shun, Sun, Blelloch, SPAA 2015 — paper
+// §2 "Parallel Primitives"): reorder (key, value) records so equal keys are
+// contiguous, in O(n) expected work and O(lg n) depth, by hashing keys into
+// buckets with a parallel counting sort and grouping within each
+// (expected-constant-size) bucket.
+//
+// The grouped output is flattened: `records` holds the reordered pairs and
+// `group_starts` delimits maximal runs of equal keys, avoiding per-group
+// allocations on the hot path of batch updates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+
+template <typename K, typename V>
+struct grouped_records {
+  std::vector<std::pair<K, V>> records;   // equal keys contiguous
+  std::vector<uint32_t> group_starts;     // indices of group beginnings
+                                          // (plus records.size() sentinel)
+  [[nodiscard]] size_t num_groups() const {
+    return group_starts.empty() ? 0 : group_starts.size() - 1;
+  }
+  [[nodiscard]] const K& group_key(size_t g) const {
+    return records[group_starts[g]].first;
+  }
+  [[nodiscard]] size_t group_size(size_t g) const {
+    return group_starts[g + 1] - group_starts[g];
+  }
+};
+
+namespace internal {
+
+/// Parallel counting sort of `in` by bucket(in[i]) into `out`.
+/// Buckets must be < num_buckets. Stable within a block but not globally
+/// (irrelevant for semisort).
+template <typename T, typename BucketFn>
+void counting_sort_by_bucket(const std::vector<T>& in, std::vector<T>& out,
+                             size_t num_buckets, const BucketFn& bucket,
+                             std::vector<size_t>& bucket_offsets_out) {
+  size_t n = in.size();
+  size_t blocks = num_blocks(n);
+  size_t block_size = (n + blocks - 1) / blocks;
+  // counts[b * num_buckets + k] = occurrences of bucket k in block b
+  std::vector<size_t> counts(blocks * num_buckets, 0);
+  parallel_for(
+      0, blocks,
+      [&](size_t b) {
+        size_t lo = b * block_size, hi = std::min(n, lo + block_size);
+        size_t* local = counts.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) ++local[bucket(in[i])];
+      },
+      1);
+  // Offsets: bucket-major prefix sums so output is bucket-contiguous.
+  std::vector<size_t> offsets(blocks * num_buckets);
+  size_t total = 0;
+  bucket_offsets_out.assign(num_buckets + 1, 0);
+  for (size_t k = 0; k < num_buckets; ++k) {
+    bucket_offsets_out[k] = total;
+    for (size_t b = 0; b < blocks; ++b) {
+      offsets[b * num_buckets + k] = total;
+      total += counts[b * num_buckets + k];
+    }
+  }
+  bucket_offsets_out[num_buckets] = total;
+  out.resize(n);
+  parallel_for(
+      0, blocks,
+      [&](size_t b) {
+        size_t lo = b * block_size, hi = std::min(n, lo + block_size);
+        size_t* local = offsets.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) out[local[bucket(in[i])]++] = in[i];
+      },
+      1);
+}
+
+}  // namespace internal
+
+/// Semisorts `pairs` by key and computes group boundaries.
+/// KeyHash must be a 64-bit hash; defaults to hash64 of the key cast to
+/// uint64_t (fine for integral keys).
+template <typename K, typename V, typename KeyHash>
+grouped_records<K, V> group_by_key(std::vector<std::pair<K, V>> pairs,
+                                   const KeyHash& key_hash) {
+  using P = std::pair<K, V>;
+  grouped_records<K, V> result;
+  size_t n = pairs.size();
+  if (n == 0) {
+    result.group_starts = {0};
+    result.group_starts.clear();
+    return result;
+  }
+  if (n <= 2048) {
+    // Small batches: sequential sort by hash, then group.
+    std::sort(pairs.begin(), pairs.end(), [&](const P& a, const P& b) {
+      uint64_t ha = key_hash(a.first), hb = key_hash(b.first);
+      return ha != hb ? ha < hb : a.first < b.first;
+    });
+    result.records = std::move(pairs);
+  } else {
+    size_t num_buckets =
+        std::min<size_t>(next_pow2(n / 256 + 1), size_t{1} << 16);
+    uint64_t mask = num_buckets - 1;
+    std::vector<size_t> bucket_offsets;
+    internal::counting_sort_by_bucket(
+        pairs, result.records, num_buckets,
+        [&](const P& p) { return key_hash(p.first) & mask; }, bucket_offsets);
+    // Sort each (expected small) bucket to make equal keys contiguous.
+    parallel_for(
+        0, num_buckets,
+        [&](size_t k) {
+          auto lo = result.records.begin() +
+                    static_cast<ptrdiff_t>(bucket_offsets[k]);
+          auto hi = result.records.begin() +
+                    static_cast<ptrdiff_t>(bucket_offsets[k + 1]);
+          std::sort(lo, hi, [&](const P& a, const P& b) {
+            uint64_t ha = key_hash(a.first), hb = key_hash(b.first);
+            return ha != hb ? ha < hb : a.first < b.first;
+          });
+        },
+        1);
+  }
+  // Group boundaries: positions where the key changes.
+  const auto& rec = result.records;
+  auto starts = pack_index(
+      n, [&](size_t i) { return i == 0 || rec[i].first != rec[i - 1].first; });
+  result.group_starts.resize(starts.size() + 1);
+  parallel_for(0, starts.size(), [&](size_t i) {
+    result.group_starts[i] = static_cast<uint32_t>(starts[i]);
+  });
+  result.group_starts.back() = static_cast<uint32_t>(n);
+  return result;
+}
+
+template <typename K, typename V>
+grouped_records<K, V> group_by_key(std::vector<std::pair<K, V>> pairs) {
+  return group_by_key(std::move(pairs), [](const K& k) {
+    return hash64(static_cast<uint64_t>(k));
+  });
+}
+
+}  // namespace bdc

@@ -1,0 +1,370 @@
+// Phase-concurrent augmented circular skip list — the sequence structure
+// underlying batch-parallel Euler tour trees (Tseng, Dhulipala, Blelloch,
+// ALENEX 2019 [62]; paper §2.1 and Appendix 9).
+//
+// A *sequence* is a circular doubly-linked skip list: the level-0 ring links
+// every element in order; the level-ℓ ring links the elements of height > ℓ.
+// Each node x of height h carries augmented values aug[0..h-1]:
+//   aug[0]     = the node's own value,
+//   aug[ℓ] (ℓ>0) = sum of aug[ℓ-1] over x's level-ℓ block — the run of
+//                  level-(ℓ-1) ring nodes from x up to (excluding) the next
+//                  node of height > ℓ.
+// The sum over any ring's top level is the total over the sequence.
+//
+// Mutation is by *batch splits* followed by *batch joins*:
+//   batch_split_after(S): severs the level-0 link after each node in S and
+//     every higher-level link crossing a severed boundary. Splits may run
+//     fully in parallel; racing severs of one link are idempotent.
+//   batch_join(pairs): relinks tail->head pairs level-synchronously (all
+//     level-ℓ links are placed before any level-(ℓ+1) link, because the
+//     level-(ℓ+1) search walks level-ℓ rings). The pairs must reconstitute
+//     complete circles: every severed boundary is either re-joined or
+//     belongs to a node being discarded.
+//   batch_repair(dirty): recomputes augmented values bottom-up from the
+//     level-0 nodes whose value or neighborhood changed.
+//
+// Phase contract: within one phase all concurrent calls are splits, or all
+// joins at one level (the batch entry points enforce this internally), or
+// all read-only queries. Distinct phases are separated by fork-join
+// barriers. Queries must not run during mutation.
+//
+// Per-batch costs match Theorem 2: k operations on an n-node sequence take
+// O(k lg(1 + n/k)) expected work and O(lg n) depth w.h.p.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "sequence/parallel_sort.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+
+template <typename Aug>
+class augmented_skiplist {
+ public:
+  static constexpr int kMaxHeight = 26;
+
+  struct node {
+    uint64_t tag;       // client payload (ETT stores its element descriptor)
+    uint8_t height;     // number of levels this node participates in (>= 1)
+    std::atomic<uint8_t> flags{0};  // client-managed mark bits
+    std::atomic<node*>* next;       // arrays of length `height`
+    std::atomic<node*>* prev;
+    Aug* aug;
+
+    [[nodiscard]] node* next_at(int lvl) const {
+      return next[lvl].load(std::memory_order_acquire);
+    }
+    [[nodiscard]] node* prev_at(int lvl) const {
+      return prev[lvl].load(std::memory_order_acquire);
+    }
+  };
+
+  explicit augmented_skiplist(uint64_t seed = 0xbdc0ffee)
+      : rng_(seed) {}
+
+  augmented_skiplist(const augmented_skiplist&) = delete;
+  augmented_skiplist& operator=(const augmented_skiplist&) = delete;
+
+  /// Creates a singleton circular sequence holding `value`. The caller owns
+  /// the node and must eventually release it with free_node. Safe to call
+  /// concurrently (heights come from a counter-based RNG stream).
+  node* create_node(uint64_t tag, const Aug& value) {
+    uint64_t draw =
+        rng_.ith_rand(counter_.fetch_add(1, std::memory_order_relaxed));
+    int h = 1;
+    while (h < kMaxHeight && (draw & 1)) {
+      ++h;
+      draw >>= 1;
+    }
+    node* n = allocate(h);
+    n->tag = tag;
+    n->height = static_cast<uint8_t>(h);
+    n->flags.store(0, std::memory_order_relaxed);
+    for (int l = 0; l < h; ++l) {
+      n->next[l].store(n, std::memory_order_relaxed);
+      n->prev[l].store(n, std::memory_order_relaxed);
+      n->aug[l] = value;
+    }
+    return n;
+  }
+
+  /// Frees a node previously unlinked by a cut (or never linked). Caller
+  /// guarantees no other thread can still reach it.
+  static void free_node(node* n) { destroy(n); }
+
+  // --------------------------------------------------------------------
+  // Batch mutation
+  // --------------------------------------------------------------------
+
+  /// Severs the boundary after each node in `cuts` (between x and its
+  /// level-0 successor), including all higher-level links crossing it.
+  void batch_split_after(std::span<node* const> cuts) {
+    parallel_for(0, cuts.size(), [&](size_t i) { split_after(cuts[i]); });
+  }
+
+  /// Splits a single boundary (also usable inside a split phase).
+  void split_after(node* x) {
+    // Level 0: direct sever.
+    node* t = x->next[0].exchange(nullptr, std::memory_order_acq_rel);
+    if (t != nullptr) t->prev[0].store(nullptr, std::memory_order_release);
+    // Higher levels: find the last node of height > lvl at or before x and
+    // sever its forward link, which crosses our boundary.
+    node* lp = x;
+    for (int lvl = 1; lvl < kMaxHeight; ++lvl) {
+      lp = find_tall_left(lp, lvl - 1, lvl + 1);
+      if (lp == nullptr) break;  // boundary already open on the left
+      node* target = lp->next[lvl].exchange(nullptr, std::memory_order_acq_rel);
+      if (target != nullptr)
+        target->prev[lvl].store(nullptr, std::memory_order_release);
+    }
+  }
+
+  /// Joins tail->head pairs. See the class comment for the contract.
+  void batch_join(std::span<const std::pair<node*, node*>> joins) {
+    size_t k = joins.size();
+    if (k == 0) return;
+    // Level 0 links.
+    parallel_for(0, k, [&](size_t i) {
+      auto [t, h] = joins[i];
+      t->next[0].store(h, std::memory_order_release);
+      h->prev[0].store(t, std::memory_order_release);
+    });
+    // Higher levels, one synchronous round per level. `frontier` tracks,
+    // per join, the deepest already-linked tall nodes on each side; a join
+    // drops out once its circle has no taller nodes.
+    std::vector<std::pair<node*, node*>> frontier(joins.begin(), joins.end());
+    std::vector<uint8_t> active(k, 1);
+    for (int lvl = 1; lvl < kMaxHeight; ++lvl) {
+      std::atomic<bool> any_active{false};
+      parallel_for(0, k, [&](size_t i) {
+        if (!active[i]) return;
+        auto& [lt, rt] = frontier[i];
+        node* lp = find_tall_left(lt, lvl - 1, lvl + 1);
+        if (lp == nullptr) {
+          active[i] = 0;  // whole circle is shorter than lvl+1
+          return;
+        }
+        node* rp = find_tall_right(rt, lvl - 1, lvl + 1);
+        assert(rp != nullptr);  // same circle, same tall-node set
+        lp->next[lvl].store(rp, std::memory_order_release);
+        rp->prev[lvl].store(lp, std::memory_order_release);
+        lt = lp;
+        rt = rp;
+        any_active.store(true, std::memory_order_relaxed);
+      });
+      if (!any_active.load(std::memory_order_relaxed)) break;
+    }
+  }
+
+  /// Sequential single join (tail->head), usable when no batch is active.
+  void join(node* t, node* h) {
+    std::pair<node*, node*> one{t, h};
+    batch_join(std::span<const std::pair<node*, node*>>(&one, 1));
+  }
+
+  // --------------------------------------------------------------------
+  // Augmentation
+  // --------------------------------------------------------------------
+
+  /// Overwrites the bottom value of `x`. Caller must include x in the
+  /// next batch_repair.
+  void set_value(node* x, const Aug& v) { x->aug[0] = v; }
+  [[nodiscard]] const Aug& value(node* x) const { return x->aug[0]; }
+
+  /// Recomputes augmented values for all blocks containing a dirty node,
+  /// bottom-up and level-synchronously. `dirty` are level-0 nodes whose
+  /// value changed or that border a splice point. All links must already
+  /// be final (call after the join phase).
+  void batch_repair(std::vector<node*> dirty) {
+    sort_unique(dirty);
+    for (int lvl = 1; lvl < kMaxHeight && !dirty.empty(); ++lvl) {
+      // Owner of a dirty node's block at `lvl`: the nearest node of height
+      // > lvl at or to its left on the level-(lvl-1) ring.
+      std::vector<node*> owners(dirty.size());
+      parallel_for(0, dirty.size(), [&](size_t i) {
+        owners[i] = find_tall_left(dirty[i], lvl - 1, lvl + 1);
+      });
+      owners = filter(owners, [](node* p) { return p != nullptr; });
+      sort_unique(owners);
+      parallel_for(0, owners.size(), [&](size_t i) {
+        node* o = owners[i];
+        Aug acc = o->aug[lvl - 1];
+        for (node* m = o->next_at(lvl - 1); m != o && m->height <= lvl;
+             m = m->next_at(lvl - 1)) {
+          acc = acc + m->aug[lvl - 1];
+        }
+        o->aug[lvl] = acc;
+      });
+      dirty = std::move(owners);
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Queries (read-only phases)
+  // --------------------------------------------------------------------
+
+  /// Canonical representative of x's circle: the highest node, ties broken
+  /// by smallest address. O(lg n) expected. Invalidated by any mutation of
+  /// the circle.
+  [[nodiscard]] node* representative(node* x) const {
+    node* cur = ascend_to_top(x);
+    // Walk the top ring (expected O(1) nodes) for the canonical minimum.
+    node* best = cur;
+    int lvl = cur->height - 1;
+    for (node* r = cur->next_at(lvl); r != cur; r = r->next_at(lvl)) {
+      if (r < best) best = r;
+    }
+    return best;
+  }
+
+  /// Sum of values over x's entire circle. O(lg n) expected.
+  [[nodiscard]] Aug total(node* x) const {
+    node* top = ascend_to_top(x);
+    int lvl = top->height - 1;
+    Aug acc = top->aug[lvl];
+    for (node* r = top->next_at(lvl); r != top; r = r->next_at(lvl)) {
+      acc = acc + r->aug[lvl];
+    }
+    return acc;
+  }
+
+  /// Collects bottom nodes covering the first `want` units of
+  /// `extract(aug)`, in tour order starting from the circle's top node.
+  /// Appends (node, take) pairs with take >= 1; sum of takes ==
+  /// min(want, total). Cost O(result * lg(1 + n/result)) expected.
+  template <typename Extract>
+  uint64_t collect_first(node* x, uint64_t want, const Extract& extract,
+                         std::vector<std::pair<node*, uint64_t>>& out) const {
+    if (want == 0) return 0;
+    node* top = ascend_to_top(x);
+    int lvl = top->height - 1;
+    uint64_t got = 0;
+    node* r = top;
+    do {
+      got += collect_from_block(r, lvl, want - got, extract, out);
+      r = r->next_at(lvl);
+    } while (got < want && r != top);
+    return got;
+  }
+
+  /// Enumerates every bottom node of x's circle (diagnostics/tests).
+  [[nodiscard]] std::vector<node*> circle_of(node* x) const {
+    std::vector<node*> out;
+    node* cur = x;
+    do {
+      out.push_back(cur);
+      cur = cur->next_at(0);
+    } while (cur != nullptr && cur != x);
+    return out;
+  }
+
+ private:
+  /// First node of height >= min_height at or left of `start` on the
+  /// level-`walk_lvl` ring; nullptr if the ring is open (severed) on the
+  /// left or the walk wraps without finding one.
+  static node* find_tall_left(node* start, int walk_lvl, int min_height) {
+    node* cur = start;
+    while (cur->height < min_height) {
+      node* p = cur->prev_at(walk_lvl);
+      if (p == nullptr || p == start) return nullptr;
+      cur = p;
+    }
+    return cur;
+  }
+
+  static node* find_tall_right(node* start, int walk_lvl, int min_height) {
+    node* cur = start;
+    while (cur->height < min_height) {
+      node* nx = cur->next_at(walk_lvl);
+      if (nx == nullptr || nx == start) return nullptr;
+      cur = nx;
+    }
+    return cur;
+  }
+
+  /// Highest-level node reachable from x: repeatedly walk x's top ring
+  /// until a taller node appears or the ring closes.
+  [[nodiscard]] node* ascend_to_top(node* x) const {
+    node* cur = x;
+    while (true) {
+      int lvl = cur->height - 1;
+      node* r = cur;
+      node* taller = nullptr;
+      do {
+        if (r->height > cur->height) {
+          taller = r;
+          break;
+        }
+        r = r->next_at(lvl);
+      } while (r != cur);
+      if (taller == nullptr) return cur;
+      cur = taller;
+    }
+  }
+
+  /// Recursive descent for collect_first: takes up to `want` units from the
+  /// block owned by `x` at level `lvl` (x itself plus its short members).
+  template <typename Extract>
+  uint64_t collect_from_block(node* x, int lvl, uint64_t want,
+                              const Extract& extract,
+                              std::vector<std::pair<node*, uint64_t>>& out)
+      const {
+    if (want == 0) return 0;
+    uint64_t avail = extract(x->aug[lvl]);
+    if (avail == 0) return 0;
+    if (lvl == 0) {
+      uint64_t take = std::min(want, avail);
+      out.emplace_back(x, take);
+      return take;
+    }
+    uint64_t got = collect_from_block(x, lvl - 1, want, extract, out);
+    for (node* m = x->next_at(lvl - 1); got < want && m->height <= lvl;
+         m = m->next_at(lvl - 1)) {
+      got += collect_from_block(m, lvl - 1, want - got, extract, out);
+      if (m == x) break;  // degenerate single-node ring safety
+    }
+    return got;
+  }
+
+  static node* allocate(int h) {
+    static_assert(std::is_trivially_destructible_v<Aug>,
+                  "Aug must be trivially destructible");
+    static_assert(alignof(Aug) <= alignof(std::max_align_t));
+    size_t bytes = sizeof(node) +
+                   static_cast<size_t>(h) *
+                       (2 * sizeof(std::atomic<node*>) + sizeof(Aug));
+    char* mem = static_cast<char*>(::operator new(bytes));
+    node* n = new (mem) node;
+    n->next = reinterpret_cast<std::atomic<node*>*>(mem + sizeof(node));
+    n->prev = n->next + h;
+    n->aug = reinterpret_cast<Aug*>(mem + sizeof(node) +
+                                    2 * static_cast<size_t>(h) *
+                                        sizeof(std::atomic<node*>));
+    for (int l = 0; l < h; ++l) {
+      new (&n->next[l]) std::atomic<node*>(nullptr);
+      new (&n->prev[l]) std::atomic<node*>(nullptr);
+      new (&n->aug[l]) Aug();
+    }
+    return n;
+  }
+
+  static void destroy(node* n) {
+    n->~node();
+    ::operator delete(static_cast<void*>(n));
+  }
+
+  random rng_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+}  // namespace bdc

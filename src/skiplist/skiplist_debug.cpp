@@ -1,0 +1,18 @@
+// Explicit instantiations of the skip-list checker for the augmentation
+// types used across the library and its tests.
+#include "skiplist/skiplist_debug.hpp"
+
+#include <functional>
+
+#include "ett/ett_counts.hpp"
+
+namespace bdc {
+
+template std::string check_skiplist_circle<ett_counts,
+                                           std::equal_to<ett_counts>>(
+    augmented_skiplist<ett_counts>::node*, const std::equal_to<ett_counts>&);
+
+template std::string check_skiplist_circle<long, std::equal_to<long>>(
+    augmented_skiplist<long>::node*, const std::equal_to<long>&);
+
+}  // namespace bdc

@@ -1,0 +1,62 @@
+// Structural validation for augmented circular skip lists (tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "skiplist/augmented_skiplist.hpp"
+
+namespace bdc {
+
+/// Validates the circle containing `start`: link symmetry at every level,
+/// the height-filtered subsequence property, and augmented block sums
+/// (compared with `eq`). Returns empty string when healthy.
+template <typename Aug, typename Eq>
+std::string check_skiplist_circle(typename augmented_skiplist<Aug>::node* start,
+                                  const Eq& eq) {
+  using node = typename augmented_skiplist<Aug>::node;
+  std::vector<node*> circle;
+  node* cur = start;
+  do {
+    if (cur == nullptr) return "null link at level 0";
+    circle.push_back(cur);
+    node* nx = cur->next_at(0);
+    if (nx == nullptr || nx->prev_at(0) != cur)
+      return "level-0 next/prev mismatch";
+    cur = nx;
+    if (circle.size() > (1u << 26)) return "circle does not close";
+  } while (cur != start);
+
+  int max_h = 0;
+  for (node* n : circle) max_h = std::max(max_h, int{n->height});
+  for (int lvl = 1; lvl < max_h; ++lvl) {
+    std::vector<node*> ring;
+    for (node* n : circle)
+      if (n->height > lvl) ring.push_back(n);
+    if (ring.empty()) break;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      node* a = ring[i];
+      node* b = ring[(i + 1) % ring.size()];
+      if (a->next_at(lvl) != b || b->prev_at(lvl) != a)
+        return "ring mismatch at level " + std::to_string(lvl);
+    }
+  }
+  size_t n_circ = circle.size();
+  for (int lvl = 1; lvl < max_h; ++lvl) {
+    for (size_t i = 0; i < n_circ; ++i) {
+      node* o = circle[i];
+      if (o->height <= lvl) continue;
+      Aug acc = o->aug[lvl - 1];
+      size_t j = (i + 1) % n_circ;
+      while (j != i && circle[j]->height <= lvl) {
+        if (circle[j]->height > lvl - 1) acc = acc + circle[j]->aug[lvl - 1];
+        j = (j + 1) % n_circ;
+      }
+      if (!eq(acc, o->aug[lvl]))
+        return "augmentation mismatch at level " + std::to_string(lvl);
+    }
+  }
+  return "";
+}
+
+}  // namespace bdc

@@ -1,0 +1,82 @@
+// Static connectivity substrate: sequential union-find (used by test oracles
+// and the HDT baseline) and a CAS-based concurrent union-find used for the
+// parallel SpanningForest primitive the core algorithm calls on replacement
+// edges (the stand-in for Gazit's PRAM algorithm [22] — see DESIGN.md §4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// Classic sequential union-find with path halving and union by rank.
+class union_find {
+ public:
+  explicit union_find(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if u and v were in different components (now joined).
+  bool unite(uint32_t u, uint32_t v) {
+    uint32_t ru = find(u), rv = find(v);
+    if (ru == rv) return false;
+    if (rank_[ru] < rank_[rv]) std::swap(ru, rv);
+    parent_[rv] = ru;
+    if (rank_[ru] == rank_[rv]) ++rank_[ru];
+    return true;
+  }
+
+  bool connected(uint32_t u, uint32_t v) { return find(u) == find(v); }
+  [[nodiscard]] size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+/// Wait-free-reads concurrent union-find (Jayanti–Tarjan style linking by
+/// index with benign-race path halving). Phase contract: unites may run
+/// concurrently with each other; reads of final labels happen after a join.
+class concurrent_union_find {
+ public:
+  explicit concurrent_union_find(size_t n);
+
+  uint32_t find(uint32_t x);
+  /// Returns true iff the calling unite merged two distinct components
+  /// (exactly one caller wins per merged pair).
+  bool unite(uint32_t u, uint32_t v);
+
+  [[nodiscard]] size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::atomic<uint32_t>> parent_;
+};
+
+struct spanning_forest_result {
+  /// Indices into the input edge span forming a spanning forest of it.
+  std::vector<uint32_t> tree_edge_indices;
+  /// labels[v] = canonical representative of v's component (over [0, n)).
+  std::vector<uint32_t> labels;
+};
+
+/// Computes a spanning forest of (V=[0,n), edges) in parallel:
+/// O(k α(n)) ≈ O(k) expected work. Self-loops are never chosen.
+spanning_forest_result spanning_forest(size_t n, std::span<const edge> edges);
+
+/// Connected-component labels only (same cost).
+std::vector<uint32_t> connected_components(size_t n,
+                                           std::span<const edge> edges);
+
+}  // namespace bdc

@@ -1,0 +1,26 @@
+// Small bit-manipulation helpers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bdc {
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+constexpr uint32_t log2_ceil(uint64_t x) {
+  return x <= 1 ? 0 : 64 - static_cast<uint32_t>(std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr uint32_t log2_floor(uint64_t x) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr uint64_t next_pow2(uint64_t x) { return uint64_t{1} << log2_ceil(x); }
+
+static_assert(log2_ceil(1) == 0 && log2_ceil(2) == 1 && log2_ceil(3) == 2);
+static_assert(log2_floor(1) == 0 && log2_floor(8) == 3 && log2_floor(9) == 3);
+static_assert(next_pow2(1) == 1 && next_pow2(5) == 8);
+
+}  // namespace bdc

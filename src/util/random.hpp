@@ -1,0 +1,72 @@
+// Deterministic, splittable pseudo-random generation.
+//
+// All randomized structures in the library draw bits through this header so
+// that (a) results are reproducible given a seed and (b) parallel code can
+// draw independent streams without synchronization by hashing (seed, index)
+// pairs instead of mutating shared generator state.
+#pragma once
+
+#include <cstdint>
+
+namespace bdc {
+
+/// splitmix64 finalizer: a fast, well-distributed 64->64 bit mixer.
+constexpr uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines two 64-bit values into one hash (order-sensitive).
+constexpr uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return hash64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// A counter-based RNG: `random r(seed); r.ith_rand(i)` yields the i-th
+/// value of a reproducible stream. Cheap to copy and to "fork" into
+/// independent substreams, which is exactly what data-parallel loops need.
+class random {
+ public:
+  explicit constexpr random(uint64_t seed = 0x5bd1e995u) : seed_(seed) {}
+
+  /// The i-th draw of this stream.
+  [[nodiscard]] constexpr uint64_t ith_rand(uint64_t i) const {
+    return hash64(seed_ ^ hash64(i));
+  }
+  /// An independent child stream.
+  [[nodiscard]] constexpr random fork(uint64_t i) const {
+    return random(hash_combine(seed_, i));
+  }
+  /// Uniform value in [0, bound). Bound must be nonzero.
+  [[nodiscard]] constexpr uint64_t ith_rand(uint64_t i, uint64_t bound) const {
+    // 128-bit multiply avoids modulo bias well enough for our purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(ith_rand(i)) * bound) >> 64);
+  }
+  [[nodiscard]] constexpr uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Stateful convenience wrapper when sequential draws are fine.
+class random_stream {
+ public:
+  explicit constexpr random_stream(uint64_t seed = 0x5bd1e995u) : r_(seed) {}
+  constexpr uint64_t next() { return r_.ith_rand(i_++); }
+  constexpr uint64_t next(uint64_t bound) { return r_.ith_rand(i_++, bound); }
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  random r_;
+  uint64_t i_ = 0;
+};
+
+}  // namespace bdc

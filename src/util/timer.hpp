@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace bdc {
+
+/// Simple wall-clock stopwatch.
+class timer {
+  using clock = std::chrono::steady_clock;
+
+ public:
+  timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace bdc

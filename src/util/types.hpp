@@ -1,0 +1,69 @@
+// Core scalar types and the edge representation shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+namespace bdc {
+
+/// Vertex identifier. Graphs are over the vertex set [0, n).
+using vertex_id = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr vertex_id kNoVertex = std::numeric_limits<vertex_id>::max();
+
+/// An undirected edge. Stored in canonical orientation (u <= v) by
+/// `edge::canonical`, but the type itself does not force an orientation:
+/// algorithm-internal code frequently works with directed arcs.
+struct edge {
+  vertex_id u = kNoVertex;
+  vertex_id v = kNoVertex;
+
+  edge() = default;
+  constexpr edge(vertex_id a, vertex_id b) : u(a), v(b) {}
+
+  /// Canonical (undirected) form: smaller endpoint first.
+  [[nodiscard]] constexpr edge canonical() const {
+    return u <= v ? edge{u, v} : edge{v, u};
+  }
+  /// The same edge traversed in the other direction.
+  [[nodiscard]] constexpr edge reversed() const { return edge{v, u}; }
+
+  [[nodiscard]] constexpr bool is_self_loop() const { return u == v; }
+
+  friend constexpr bool operator==(const edge&, const edge&) = default;
+  friend constexpr auto operator<=>(const edge&, const edge&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const edge& e) {
+  return os << '(' << e.u << ',' << e.v << ')';
+}
+
+/// Packs an edge into a 64-bit key (used by hash tables). Directed: the
+/// orientation is preserved; canonicalize first for undirected keys.
+constexpr uint64_t edge_key(const edge& e) {
+  return (static_cast<uint64_t>(e.u) << 32) | static_cast<uint64_t>(e.v);
+}
+constexpr edge edge_from_key(uint64_t k) {
+  return edge{static_cast<vertex_id>(k >> 32),
+              static_cast<vertex_id>(k & 0xffffffffu)};
+}
+
+}  // namespace bdc
+
+template <>
+struct std::hash<bdc::edge> {
+  size_t operator()(const bdc::edge& e) const noexcept {
+    uint64_t x = bdc::edge_key(e);
+    // splitmix64 finalizer
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};

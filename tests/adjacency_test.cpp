@@ -1,0 +1,168 @@
+// Leveled adjacency tests: grouped insert/erase/kind-flip against a
+// multiset model, position back-pointer integrity, and fetch order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "adjacency/leveled_adjacency.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+using incidence = leveled_adjacency::incidence;
+
+leveled_adjacency::grouped group_incidences(
+    std::vector<std::pair<vertex_id, incidence>> inc) {
+  return group_by_key(std::move(inc));
+}
+
+/// Registers records for edges then inserts them under both endpoints.
+void add_edges(leveled_adjacency& adj, edge_dict& dict,
+               const std::vector<edge>& es,
+               const std::vector<uint8_t>& is_tree, int level) {
+  dict.reserve_for(es.size());
+  for (size_t i = 0; i < es.size(); ++i) {
+    edge_record rec;
+    rec.level = static_cast<int16_t>(level);
+    rec.is_tree = is_tree[i];
+    dict.insert(edge_key(es[i]), rec);
+  }
+  std::vector<std::pair<vertex_id, incidence>> inc;
+  for (size_t i = 0; i < es.size(); ++i) {
+    inc.push_back({es[i].u, {es[i], is_tree[i]}});
+    inc.push_back({es[i].v, {es[i], is_tree[i]}});
+  }
+  adj.insert_grouped(group_incidences(std::move(inc)), dict);
+}
+
+TEST(Adjacency, InsertFetchErase) {
+  leveled_adjacency adj;
+  edge_dict dict(16);
+  std::vector<edge> es = {{0, 1}, {0, 2}, {1, 2}};
+  add_edges(adj, dict, es, {1, 0, 0}, 3);
+  EXPECT_EQ(adj.tree_degree(0), 1u);
+  EXPECT_EQ(adj.nontree_degree(0), 1u);
+  EXPECT_EQ(adj.nontree_degree(1), 1u);
+  EXPECT_EQ(adj.nontree_degree(2), 2u);
+  EXPECT_EQ(adj.total_incidences(), 6u);
+  EXPECT_TRUE(adj.check_positions(dict, 3).empty());
+
+  std::vector<edge> fetched;
+  adj.fetch_nontree(2, 10, fetched);
+  EXPECT_EQ(fetched.size(), 2u);
+
+  // Erase (0,2) from both endpoints.
+  std::vector<std::pair<vertex_id, incidence>> inc = {
+      {0, {{0, 2}, 0}}, {2, {{0, 2}, 0}}};
+  adj.erase_grouped(group_incidences(std::move(inc)), dict);
+  EXPECT_EQ(adj.nontree_degree(0), 0u);
+  EXPECT_EQ(adj.nontree_degree(2), 1u);
+  EXPECT_TRUE(adj.check_positions(dict, 3).empty());
+}
+
+TEST(Adjacency, ChangeKindMovesBetweenLists) {
+  leveled_adjacency adj;
+  edge_dict dict(16);
+  std::vector<edge> es = {{1, 5}};
+  add_edges(adj, dict, es, {0}, 0);
+  EXPECT_EQ(adj.nontree_degree(1), 1u);
+  dict.find(edge_key(edge{1, 5}))->is_tree = 1;
+  std::vector<std::pair<vertex_id, incidence>> inc = {
+      {1, {{1, 5}, 1}}, {5, {{1, 5}, 1}}};
+  adj.change_kind_grouped(group_incidences(std::move(inc)), dict);
+  EXPECT_EQ(adj.nontree_degree(1), 0u);
+  EXPECT_EQ(adj.tree_degree(1), 1u);
+  EXPECT_EQ(adj.tree_degree(5), 1u);
+  EXPECT_TRUE(adj.check_positions(dict, 0).empty());
+}
+
+class AdjacencyRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjacencyRandomSweep, ModelCheck) {
+  int trial = GetParam();
+  random_stream rs(trial * 997 + 5);
+  const vertex_id n = 40;
+  leveled_adjacency adj;
+  edge_dict dict(16);
+  // Model: canonical edge -> is_tree.
+  std::map<std::pair<vertex_id, vertex_id>, bool> model;
+
+  for (int round = 0; round < 60; ++round) {
+    // Insert a random batch of absent edges.
+    std::set<std::pair<vertex_id, vertex_id>> batch;
+    int tries = 1 + static_cast<int>(rs.next(20));
+    for (int t = 0; t < tries; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      if (u == v) continue;
+      edge c = edge{u, v}.canonical();
+      if (!model.count({c.u, c.v})) batch.insert({c.u, c.v});
+    }
+    std::vector<edge> es;
+    std::vector<uint8_t> kinds;
+    for (auto& [u, v] : batch) {
+      es.push_back({u, v});
+      kinds.push_back(static_cast<uint8_t>(rs.next(2)));
+      model[{u, v}] = kinds.back() != 0;
+    }
+    add_edges(adj, dict, es, kinds, 0);
+    ASSERT_TRUE(adj.check_positions(dict, 0).empty()) << "r" << round;
+
+    // Erase a random subset.
+    std::vector<std::pair<vertex_id, incidence>> einc;
+    std::vector<std::pair<vertex_id, vertex_id>> erased;
+    for (auto& [key, is_tree] : model) {
+      if (rs.next(100) < 25) {
+        edge c{key.first, key.second};
+        einc.push_back({c.u, {c, static_cast<uint8_t>(is_tree)}});
+        einc.push_back({c.v, {c, static_cast<uint8_t>(is_tree)}});
+        erased.push_back(key);
+      }
+    }
+    if (!einc.empty()) {
+      adj.erase_grouped(group_incidences(std::move(einc)), dict);
+      for (auto& key : erased) {
+        dict.erase(edge_key(edge{key.first, key.second}));
+        model.erase(key);
+      }
+    }
+    ASSERT_TRUE(adj.check_positions(dict, 0).empty()) << "r" << round;
+
+    // Degrees match the model.
+    for (vertex_id v = 0; v < n; ++v) {
+      uint32_t td = 0, nd = 0;
+      for (auto& [key, is_tree] : model) {
+        if (key.first == v || key.second == v) (is_tree ? td : nd)++;
+      }
+      ASSERT_EQ(adj.tree_degree(v), td) << "r" << round << " v" << v;
+      ASSERT_EQ(adj.nontree_degree(v), nd) << "r" << round << " v" << v;
+    }
+    size_t incidences = 0;
+    (void)incidences;
+    ASSERT_EQ(adj.total_incidences(), model.size() * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, AdjacencyRandomSweep,
+                         ::testing::Range(0, 6));
+
+TEST(Adjacency, FetchReturnsPrefix) {
+  leveled_adjacency adj;
+  edge_dict dict(16);
+  std::vector<edge> es;
+  for (vertex_id i = 1; i <= 20; ++i) es.push_back({0, i});
+  add_edges(adj, dict, es, std::vector<uint8_t>(20, 0), 1);
+  for (uint32_t want : {0u, 1u, 7u, 20u, 50u}) {
+    std::vector<edge> out;
+    adj.fetch_nontree(0, want, out);
+    EXPECT_EQ(out.size(), std::min<uint32_t>(want, 20));
+    std::set<edge> uniq(out.begin(), out.end());
+    EXPECT_EQ(uniq.size(), out.size());  // no duplicates within a prefix
+  }
+}
+
+}  // namespace
+}  // namespace bdc

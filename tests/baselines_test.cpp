@@ -1,0 +1,86 @@
+// Baseline comparators: static recompute and incremental union-find.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/incremental_connectivity.hpp"
+#include "baselines/static_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+TEST(StaticRecompute, MatchesOracleUnderChurn) {
+  random_stream rs(21);
+  const vertex_id n = 100;
+  static_recompute_connectivity sc(n);
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<edge> ins;
+    for (int t = 0; t < 20; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      ins.push_back({u, v});
+      if (u != v) present.insert({edge{u, v}.canonical().u,
+                                  edge{u, v}.canonical().v});
+    }
+    sc.batch_insert(ins);
+    std::vector<edge> del;
+    for (auto& pe : present)
+      if (rs.next(3) == 0) del.push_back({pe.first, pe.second});
+    sc.batch_delete(del);
+    for (auto& e : del) present.erase({e.u, e.v});
+
+    union_find oracle(n);
+    for (auto& pe : present) oracle.unite(pe.first, pe.second);
+    for (int q = 0; q < 100; ++q) {
+      vertex_id a = static_cast<vertex_id>(rs.next(n));
+      vertex_id b = static_cast<vertex_id>(rs.next(n));
+      ASSERT_EQ(sc.connected(a, b), oracle.connected(a, b));
+    }
+    ASSERT_EQ(sc.num_edges(), present.size());
+  }
+}
+
+TEST(StaticRecompute, RecomputesLazily) {
+  static_recompute_connectivity sc(10);
+  sc.batch_insert(gen_path(10));
+  EXPECT_EQ(sc.recomputes(), 0u);  // nothing queried yet
+  EXPECT_TRUE(sc.connected(0, 9));
+  EXPECT_EQ(sc.recomputes(), 1u);
+  EXPECT_TRUE(sc.connected(3, 4));  // cached
+  EXPECT_EQ(sc.recomputes(), 1u);
+  sc.batch_delete(std::vector<edge>{{4, 5}});
+  EXPECT_FALSE(sc.connected(0, 9));
+  EXPECT_EQ(sc.recomputes(), 2u);
+}
+
+TEST(Incremental, MatchesOracle) {
+  random_stream rs(31);
+  const vertex_id n = 500;
+  incremental_connectivity inc(n);
+  union_find oracle(n);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<edge> ins;
+    for (int t = 0; t < 100; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      ins.push_back({u, v});
+    }
+    inc.batch_insert(ins);
+    for (auto& e : ins)
+      if (!e.is_self_loop()) oracle.unite(e.u, e.v);
+    auto qs = std::vector<std::pair<vertex_id, vertex_id>>{};
+    for (int q = 0; q < 200; ++q)
+      qs.push_back({static_cast<vertex_id>(rs.next(n)),
+                    static_cast<vertex_id>(rs.next(n))});
+    auto got = inc.batch_connected(qs);
+    for (size_t q = 0; q < qs.size(); ++q)
+      ASSERT_EQ(got[q], oracle.connected(qs[q].first, qs[q].second));
+  }
+}
+
+}  // namespace
+}  // namespace bdc

@@ -1,0 +1,202 @@
+// Core batch-dynamic connectivity tests: unit behaviours, edge cases, and
+// structured-graph scenarios, with full invariant validation after every
+// mutation. Randomized cross-engine property tests live in
+// connectivity_property_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+
+namespace bdc {
+namespace {
+
+void expect_healthy(const batch_dynamic_connectivity& dc,
+                    const char* where) {
+  auto rep = dc.check_invariants();
+  ASSERT_TRUE(rep.ok) << where << ": " << rep.message;
+}
+
+TEST(Connectivity, EmptyGraph) {
+  batch_dynamic_connectivity dc(5);
+  EXPECT_EQ(dc.num_vertices(), 5u);
+  EXPECT_EQ(dc.num_edges(), 0u);
+  EXPECT_FALSE(dc.connected(0, 4));
+  EXPECT_TRUE(dc.connected(2, 2));
+  EXPECT_EQ(dc.component_size(3), 1u);
+  auto labels = dc.components();
+  for (vertex_id v = 0; v < 5; ++v) EXPECT_EQ(labels[v], v);
+  expect_healthy(dc, "empty");
+}
+
+TEST(Connectivity, TinyGraphs) {
+  batch_dynamic_connectivity one(1);
+  EXPECT_TRUE(one.connected(0, 0));
+  expect_healthy(one, "n=1");
+
+  batch_dynamic_connectivity two(2);
+  two.insert({0, 1});
+  EXPECT_TRUE(two.connected(0, 1));
+  two.erase({0, 1});
+  EXPECT_FALSE(two.connected(0, 1));
+  expect_healthy(two, "n=2");
+}
+
+TEST(Connectivity, InsertSanitization) {
+  batch_dynamic_connectivity dc(10);
+  std::vector<edge> batch = {{1, 2}, {2, 1}, {1, 2}, {3, 3}, {4, 5}};
+  dc.batch_insert(batch);
+  EXPECT_EQ(dc.num_edges(), 2u);  // (1,2) once, (4,5); self-loop dropped
+  EXPECT_TRUE(dc.has_edge({2, 1}));
+  EXPECT_FALSE(dc.has_edge({3, 3}));
+  dc.batch_insert(batch);  // all already present / invalid
+  EXPECT_EQ(dc.num_edges(), 2u);
+  expect_healthy(dc, "sanitize");
+}
+
+TEST(Connectivity, DeleteSanitization) {
+  batch_dynamic_connectivity dc(10);
+  dc.insert({1, 2});
+  std::vector<edge> del = {{2, 1}, {1, 2}, {7, 8}, {9, 9}};
+  dc.batch_delete(del);
+  EXPECT_EQ(dc.num_edges(), 0u);
+  EXPECT_FALSE(dc.connected(1, 2));
+  expect_healthy(dc, "delete-sanitize");
+}
+
+TEST(Connectivity, TriangleReplacement) {
+  batch_dynamic_connectivity dc(3);
+  dc.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {0, 2}});
+  dc.erase({0, 1});
+  EXPECT_TRUE(dc.connected(0, 1));
+  EXPECT_EQ(dc.num_edges(), 2u);
+  expect_healthy(dc, "triangle");
+  dc.erase({0, 2});
+  EXPECT_FALSE(dc.connected(0, 1));
+  EXPECT_TRUE(dc.connected(1, 2));
+  expect_healthy(dc, "triangle-2");
+}
+
+TEST(Connectivity, BatchShattersComponent) {
+  // A star: deleting all spokes in one batch creates n pieces.
+  const vertex_id n = 64;
+  batch_dynamic_connectivity dc(n);
+  dc.batch_insert(gen_star(n));
+  EXPECT_EQ(dc.component_size(0), n);
+  std::vector<edge> all;
+  for (vertex_id i = 1; i < n; ++i) all.push_back({0, i});
+  dc.batch_delete(all);
+  for (vertex_id i = 1; i < n; ++i) EXPECT_FALSE(dc.connected(0, i));
+  EXPECT_EQ(dc.num_edges(), 0u);
+  expect_healthy(dc, "shatter");
+}
+
+TEST(Connectivity, GridRowDeletion) {
+  const vertex_id rows = 8, cols = 8;
+  batch_dynamic_connectivity dc(rows * cols);
+  dc.batch_insert(gen_grid(rows, cols));
+  expect_healthy(dc, "grid-build");
+  // Sever the grid between rows 3 and 4 in one batch.
+  std::vector<edge> cut;
+  for (vertex_id c = 0; c < cols; ++c)
+    cut.push_back({3 * cols + c, 4 * cols + c});
+  dc.batch_delete(cut);
+  EXPECT_FALSE(dc.connected(0, rows * cols - 1));
+  EXPECT_TRUE(dc.connected(0, 3 * cols + 7));
+  EXPECT_TRUE(dc.connected(4 * cols, rows * cols - 1));
+  EXPECT_EQ(dc.component_size(0), 4u * cols);
+  expect_healthy(dc, "grid-cut");
+}
+
+TEST(Connectivity, MixedTreeAndNonTreeDeletion) {
+  batch_dynamic_connectivity dc(6);
+  dc.batch_insert(
+      std::vector<edge>{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 4}, {4, 5}});
+  // Delete a mix: non-tree (0,3)-or-tree plus a bridge (4,5).
+  dc.batch_delete(std::vector<edge>{{0, 3}, {4, 5}});
+  EXPECT_TRUE(dc.connected(0, 3));
+  EXPECT_FALSE(dc.connected(0, 5));
+  expect_healthy(dc, "mixed");
+}
+
+TEST(Connectivity, ReinsertAfterDelete) {
+  batch_dynamic_connectivity dc(8);
+  for (int round = 0; round < 30; ++round) {
+    dc.batch_insert(gen_path(8));
+    ASSERT_TRUE(dc.connected(0, 7));
+    dc.batch_delete(gen_path(8));
+    ASSERT_FALSE(dc.connected(0, 7));
+  }
+  expect_healthy(dc, "reinsert");
+}
+
+TEST(Connectivity, ComponentsLabeling) {
+  batch_dynamic_connectivity dc(9);
+  dc.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {4, 5}, {7, 8}});
+  auto labels = dc.components();
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+  EXPECT_EQ(labels[6], 6u);
+  EXPECT_EQ(labels[7], 7u);
+  EXPECT_EQ(labels[8], 7u);
+}
+
+TEST(Connectivity, BatchQueries) {
+  batch_dynamic_connectivity dc(6);
+  dc.batch_insert(std::vector<edge>{{0, 1}, {2, 3}});
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {
+      {0, 1}, {1, 0}, {0, 2}, {2, 3}, {4, 5}, {5, 5}};
+  auto ans = dc.batch_connected(qs);
+  EXPECT_EQ(ans, (std::vector<bool>{true, true, false, true, false, true}));
+}
+
+TEST(Connectivity, StatsProgress) {
+  batch_dynamic_connectivity dc(32);
+  auto es = gen_erdos_renyi(32, 120, 77);
+  dc.batch_insert(es);
+  EXPECT_EQ(dc.stats().edges_inserted, 120u);
+  dc.batch_delete(es);
+  EXPECT_EQ(dc.stats().edges_deleted, 120u);
+  EXPECT_GT(dc.stats().tree_edges_deleted, 0u);
+  EXPECT_GT(dc.stats().levels_searched, 0u);
+  dc.reset_stats();
+  EXPECT_EQ(dc.stats().edges_deleted, 0u);
+}
+
+class EngineSweep : public ::testing::TestWithParam<level_search_kind> {};
+
+TEST_P(EngineSweep, DenseThenFullDeletion) {
+  options o;
+  o.search = GetParam();
+  const vertex_id n = 48;
+  batch_dynamic_connectivity dc(n, o);
+  auto es = gen_erdos_renyi(n, 400, 123);
+  dc.batch_insert(es);
+  EXPECT_TRUE(dc.connected(0, n - 1));
+  expect_healthy(dc, "dense-build");
+  // Delete everything in a few large batches.
+  size_t third = es.size() / 3;
+  dc.batch_delete(std::span<const edge>(es.data(), third));
+  expect_healthy(dc, "dense-del-1");
+  dc.batch_delete(std::span<const edge>(es.data() + third, third));
+  expect_healthy(dc, "dense-del-2");
+  dc.batch_delete(
+      std::span<const edge>(es.data() + 2 * third, es.size() - 2 * third));
+  expect_healthy(dc, "dense-del-3");
+  EXPECT_EQ(dc.num_edges(), 0u);
+  for (vertex_id v = 1; v < n; ++v) ASSERT_FALSE(dc.connected(0, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineSweep,
+                         ::testing::Values(level_search_kind::interleaved,
+                                           level_search_kind::simple,
+                                           level_search_kind::scan_all));
+
+}  // namespace
+}  // namespace bdc

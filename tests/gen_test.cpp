@@ -1,0 +1,134 @@
+// Generator sanity: sizes, distinctness, determinism, stream structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "spanning/union_find.hpp"
+
+namespace bdc {
+namespace {
+
+void expect_distinct_canonical(const std::vector<edge>& es) {
+  std::set<std::pair<vertex_id, vertex_id>> seen;
+  for (const edge& e : es) {
+    ASSERT_FALSE(e.is_self_loop());
+    edge c = e.canonical();
+    ASSERT_TRUE(seen.insert({c.u, c.v}).second) << "duplicate " << c;
+  }
+}
+
+TEST(Gen, ErdosRenyi) {
+  auto es = gen_erdos_renyi(1000, 5000, 7);
+  EXPECT_EQ(es.size(), 5000u);
+  expect_distinct_canonical(es);
+  // Deterministic given the seed.
+  EXPECT_EQ(gen_erdos_renyi(1000, 5000, 7), es);
+  EXPECT_NE(gen_erdos_renyi(1000, 5000, 8), es);
+}
+
+TEST(Gen, RandomTreeIsSpanningTree) {
+  auto es = gen_random_tree(500, 3);
+  EXPECT_EQ(es.size(), 499u);
+  union_find uf(500);
+  for (auto& e : es) ASSERT_TRUE(uf.unite(e.u, e.v)) << "cycle";
+  for (vertex_id v = 1; v < 500; ++v) ASSERT_TRUE(uf.connected(0, v));
+}
+
+TEST(Gen, RandomForestComponentCount) {
+  auto es = gen_random_forest(1000, 10, 4);
+  union_find uf(1000);
+  for (auto& e : es) ASSERT_TRUE(uf.unite(e.u, e.v));
+  std::set<uint32_t> roots;
+  for (vertex_id v = 0; v < 1000; ++v) roots.insert(uf.find(v));
+  EXPECT_EQ(roots.size(), 10u);
+}
+
+TEST(Gen, StructuredShapes) {
+  EXPECT_EQ(gen_path(100).size(), 99u);
+  EXPECT_EQ(gen_star(100).size(), 99u);
+  auto grid = gen_grid(5, 7);
+  EXPECT_EQ(grid.size(), 5u * 6 + 4u * 7);
+  expect_distinct_canonical(grid);
+}
+
+TEST(Gen, RmatShape) {
+  auto es = gen_rmat(1 << 10, 4000, 11);
+  EXPECT_EQ(es.size(), 4000u);
+  expect_distinct_canonical(es);
+  // Power-law-ish: max degree well above average.
+  std::vector<size_t> deg(1 << 10, 0);
+  for (auto& e : es) {
+    deg[e.u]++;
+    deg[e.v]++;
+  }
+  size_t mx = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(mx, 8u * 2 * 4000 / (1 << 10));
+}
+
+TEST(Stream, InsertionStreamCoversGraph) {
+  auto graph = gen_erdos_renyi(100, 300, 5);
+  auto stream = make_insertion_stream(graph, 64, 9);
+  size_t total = 0;
+  for (auto& b : stream) {
+    EXPECT_EQ(b.op, update_batch::kind::insert);
+    EXPECT_LE(b.edges.size(), 64u);
+    total += b.edges.size();
+  }
+  EXPECT_EQ(total, graph.size());
+}
+
+TEST(Stream, DeletionStreamDeletesEverythingOnce) {
+  auto graph = gen_erdos_renyi(100, 300, 6);
+  auto stream = make_deletion_stream(graph, 100, 50, 32, 8, 10);
+  size_t inserted = 0, deleted = 0, queries = 0;
+  for (auto& b : stream) {
+    switch (b.op) {
+      case update_batch::kind::insert:
+        inserted += b.edges.size();
+        break;
+      case update_batch::kind::erase:
+        EXPECT_LE(b.edges.size(), 32u);
+        deleted += b.edges.size();
+        break;
+      case update_batch::kind::query:
+        EXPECT_EQ(b.queries.size(), 8u);
+        queries += b.queries.size();
+        break;
+    }
+  }
+  EXPECT_EQ(inserted, graph.size());
+  EXPECT_EQ(deleted, graph.size());
+  EXPECT_GT(queries, 0u);
+}
+
+TEST(Stream, SlidingWindowBoundsLiveEdges) {
+  auto graph = gen_erdos_renyi(200, 2000, 8);
+  auto stream = make_sliding_window_stream(graph, 500, 100, 12);
+  size_t live = 0, max_live = 0;
+  for (auto& b : stream) {
+    if (b.op == update_batch::kind::insert) {
+      live += b.edges.size();
+    } else if (b.op == update_batch::kind::erase) {
+      live -= b.edges.size();
+    }
+    max_live = std::max(max_live, live);
+  }
+  EXPECT_LE(max_live, 500u + 100u);
+  EXPECT_GT(max_live, 400u);
+}
+
+TEST(Stream, ShuffleIsPermutation) {
+  auto graph = gen_path(1000);
+  auto shuffled = graph;
+  shuffle_edges(shuffled, 42);
+  EXPECT_NE(shuffled, graph);
+  auto a = graph, b = shuffled;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bdc

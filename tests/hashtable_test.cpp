@@ -1,0 +1,150 @@
+// Phase-concurrent dictionary tests: sequential semantics against
+// std::unordered_map, phase-concurrent batch operations, growth and
+// tombstone compaction.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "hashtable/phase_concurrent_map.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+TEST(PhaseMap, SequentialInsertFindErase) {
+  phase_concurrent_map<int> m(4);
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_TRUE(m.insert(2, 20));
+  EXPECT_FALSE(m.insert(1, 11));  // overwrite
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 11);
+  EXPECT_EQ(*m.find(2), 20);
+  EXPECT_EQ(m.find(3), nullptr);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(PhaseMap, GrowthUnderSequentialLoad) {
+  phase_concurrent_map<uint64_t> m(4);
+  const uint64_t n = 100000;
+  for (uint64_t k = 0; k < n; ++k) {
+    m.reserve_for(1);
+    m.insert(k * 2 + 1, k);
+  }
+  EXPECT_EQ(m.size(), n);
+  for (uint64_t k = 0; k < n; ++k) {
+    auto* p = m.find(k * 2 + 1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, k);
+  }
+}
+
+TEST(PhaseMap, ModelCheckAgainstUnorderedMap) {
+  random_stream rs(11);
+  phase_concurrent_map<uint64_t> m(8);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 200000; ++step) {
+    uint64_t key = rs.next(5000) + 1;
+    switch (rs.next(3)) {
+      case 0: {
+        uint64_t val = rs.next();
+        m.reserve_for(1);
+        bool was_new = m.insert(key, val);
+        EXPECT_EQ(was_new, ref.count(key) == 0);
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        bool had = m.erase(key);
+        EXPECT_EQ(had, ref.erase(key) == 1);
+        break;
+      }
+      default: {
+        auto* p = m.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          EXPECT_EQ(*p, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+class PhaseMapBatchSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PhaseMapBatchSweep, ConcurrentDistinctInserts) {
+  size_t k = GetParam();
+  phase_concurrent_map<uint64_t> m(4);
+  std::vector<std::pair<uint64_t, uint64_t>> kvs(k);
+  for (size_t i = 0; i < k; ++i) kvs[i] = {i + 1, i * 7};
+  m.insert_batch(kvs);
+  EXPECT_EQ(m.size(), k);
+  // Parallel lookups.
+  std::atomic<size_t> bad{0};
+  parallel_for(0, k, [&](size_t i) {
+    auto* p = m.find(i + 1);
+    if (p == nullptr || *p != i * 7) bad++;
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST_P(PhaseMapBatchSweep, ConcurrentErases) {
+  size_t k = GetParam();
+  phase_concurrent_map<uint64_t> m(4);
+  std::vector<std::pair<uint64_t, uint64_t>> kvs(k);
+  for (size_t i = 0; i < k; ++i) kvs[i] = {i + 1, i};
+  m.insert_batch(kvs);
+  // Erase the odd keys in parallel.
+  std::vector<uint64_t> to_erase;
+  for (size_t i = 0; i < k; ++i)
+    if (i % 2 == 1) to_erase.push_back(i + 1);
+  m.erase_batch(to_erase);
+  EXPECT_EQ(m.size(), k - to_erase.size());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(m.contains(i + 1), i % 2 == 0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseMapBatchSweep,
+                         ::testing::Values(1, 2, 100, 10000, 200000));
+
+TEST(PhaseMap, EntriesEnumeratesAll) {
+  phase_concurrent_map<int> m(4);
+  m.reserve_for(100);
+  for (uint64_t k = 1; k <= 100; ++k) m.insert(k, static_cast<int>(k));
+  auto entries = m.entries();
+  ASSERT_EQ(entries.size(), 100u);
+  uint64_t key_sum = 0;
+  for (auto& [k, v] : entries) key_sum += k;
+  EXPECT_EQ(key_sum, 100u * 101 / 2);
+}
+
+TEST(PhaseMap, TombstoneCompactionKeepsLookupsCorrect) {
+  phase_concurrent_map<int> m(8);
+  // Repeated churn on the same key range forces tombstone recycling.
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t k = 1; k <= 64; ++k) {
+      m.reserve_for(1);
+      m.insert(k, round);
+    }
+    std::vector<uint64_t> all;
+    for (uint64_t k = 1; k <= 64; ++k) all.push_back(k);
+    m.erase_batch(all);
+    EXPECT_EQ(m.size(), 0u);
+  }
+  m.reserve_for(1);
+  m.insert(7, 42);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 42);
+}
+
+}  // namespace
+}  // namespace bdc

@@ -1,0 +1,122 @@
+// Sequential HDT baseline tests: full invariant validation plus oracle
+// comparison over long random update sequences and structured graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "gen/graph_gen.hpp"
+#include "hdt/hdt_connectivity.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+TEST(Hdt, Basics) {
+  hdt_connectivity dc(8);
+  EXPECT_FALSE(dc.connected(0, 1));
+  dc.insert({0, 1});
+  dc.insert({1, 2});
+  EXPECT_TRUE(dc.connected(0, 2));
+  EXPECT_EQ(dc.num_edges(), 2u);
+  dc.insert({0, 1});  // duplicate ignored
+  EXPECT_EQ(dc.num_edges(), 2u);
+  dc.insert({3, 3});  // self-loop ignored
+  EXPECT_EQ(dc.num_edges(), 2u);
+  dc.erase({0, 1});
+  EXPECT_FALSE(dc.connected(0, 1));
+  EXPECT_TRUE(dc.connected(1, 2));
+  dc.erase({5, 6});  // absent ignored
+  EXPECT_TRUE(dc.check_invariants().empty());
+}
+
+TEST(Hdt, ReplacementFound) {
+  // Triangle: deleting one tree edge must find the non-tree replacement.
+  hdt_connectivity dc(3);
+  dc.insert({0, 1});
+  dc.insert({1, 2});
+  dc.insert({0, 2});  // becomes a non-tree edge
+  dc.erase({0, 1});
+  EXPECT_TRUE(dc.connected(0, 1));  // still connected via 2
+  EXPECT_TRUE(dc.check_invariants().empty());
+  EXPECT_GE(dc.stats().replacements_promoted, 1u);
+}
+
+TEST(Hdt, CycleHeavyGraph) {
+  const vertex_id n = 60;
+  hdt_connectivity dc(n);
+  auto grid = gen_grid(6, 10);
+  for (auto e : grid) dc.insert(e);
+  EXPECT_TRUE(dc.connected(0, n - 1));
+  // Delete an entire row of horizontal edges; grid stays connected.
+  for (vertex_id c = 0; c + 1 < 10; ++c) dc.erase({2 * 10 + c, 2 * 10 + c + 1});
+  EXPECT_TRUE(dc.connected(0, n - 1));
+  EXPECT_TRUE(dc.check_invariants().empty());
+}
+
+class HdtRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HdtRandomSweep, AgainstRecomputeOracle) {
+  int trial = GetParam();
+  random_stream rs(trial * 613 + 29);
+  const vertex_id n = 120;
+  hdt_connectivity dc(n, 3000 + trial);
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  for (int step = 0; step < 2500; ++step) {
+    vertex_id u = static_cast<vertex_id>(rs.next(n));
+    vertex_id v = static_cast<vertex_id>(rs.next(n));
+    if (u == v) continue;
+    edge c = edge{u, v}.canonical();
+    if (rs.next(100) < 60) {
+      dc.insert(c);
+      present.insert({c.u, c.v});
+    } else if (present.count({c.u, c.v})) {
+      dc.erase(c);
+      present.erase({c.u, c.v});
+    } else if (!present.empty()) {
+      auto it = present.begin();
+      std::advance(it, rs.next(present.size()));
+      dc.erase({it->first, it->second});
+      present.erase(it);
+    }
+    if (step % 200 == 0) {
+      ASSERT_TRUE(dc.check_invariants().empty()) << "step " << step;
+      union_find oracle(n);
+      for (auto& pe : present) oracle.unite(pe.first, pe.second);
+      for (int q = 0; q < 150; ++q) {
+        vertex_id a = static_cast<vertex_id>(rs.next(n));
+        vertex_id b = static_cast<vertex_id>(rs.next(n));
+        ASSERT_EQ(dc.connected(a, b), oracle.connected(a, b))
+            << "step " << step;
+      }
+      ASSERT_EQ(dc.num_edges(), present.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, HdtRandomSweep, ::testing::Range(0, 5));
+
+TEST(Hdt, DeleteEntireDenseGraph) {
+  const vertex_id n = 40;
+  hdt_connectivity dc(n);
+  auto es = gen_erdos_renyi(n, 300, 5);
+  for (auto e : es) dc.insert(e);
+  for (auto e : es) dc.erase(e);
+  EXPECT_EQ(dc.num_edges(), 0u);
+  for (vertex_id v = 1; v < n; ++v) EXPECT_FALSE(dc.connected(0, v));
+  EXPECT_TRUE(dc.check_invariants().empty());
+}
+
+TEST(Hdt, StatsAccumulate) {
+  hdt_connectivity dc(32);
+  auto es = gen_erdos_renyi(32, 100, 9);
+  for (auto e : es) dc.insert(e);
+  for (auto e : es) dc.erase(e);
+  EXPECT_EQ(dc.stats().edges_inserted, 100u);
+  EXPECT_EQ(dc.stats().edges_deleted, 100u);
+  EXPECT_GT(dc.stats().tree_edges_deleted, 0u);
+}
+
+}  // namespace
+}  // namespace bdc

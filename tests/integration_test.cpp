@@ -1,0 +1,142 @@
+// Whole-stack integration: realistic multi-phase workloads driven through
+// the public API, cross-checked against both baselines, across worker
+// counts. These are the closest tests to production use.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/static_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "hdt/hdt_connectivity.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace bdc {
+namespace {
+
+void drive_stream(const update_stream& stream, vertex_id n,
+                  level_search_kind engine, bool check_invariants_often) {
+  options o;
+  o.search = engine;
+  batch_dynamic_connectivity dc(n, o);
+  hdt_connectivity hdt(n);
+  static_recompute_connectivity sc(n);
+  size_t batch_no = 0;
+  for (const auto& b : stream) {
+    switch (b.op) {
+      case update_batch::kind::insert:
+        dc.batch_insert(b.edges);
+        hdt.batch_insert(b.edges);
+        sc.batch_insert(b.edges);
+        break;
+      case update_batch::kind::erase:
+        dc.batch_delete(b.edges);
+        hdt.batch_delete(b.edges);
+        sc.batch_delete(b.edges);
+        break;
+      case update_batch::kind::query: {
+        auto a = dc.batch_connected(b.queries);
+        auto h = hdt.batch_connected(b.queries);
+        auto s = sc.batch_connected(b.queries);
+        for (size_t i = 0; i < b.queries.size(); ++i) {
+          ASSERT_EQ(a[i], s[i]) << "batch " << batch_no << " q" << i;
+          ASSERT_EQ(h[i], s[i]) << "batch " << batch_no << " q" << i;
+        }
+        break;
+      }
+    }
+    if (check_invariants_often && batch_no % 7 == 0) {
+      auto rep = dc.check_invariants();
+      ASSERT_TRUE(rep.ok) << "batch " << batch_no << ": " << rep.message;
+    }
+    ++batch_no;
+  }
+  ASSERT_EQ(dc.num_edges(), sc.num_edges());
+  auto rep = dc.check_invariants();
+  ASSERT_TRUE(rep.ok) << rep.message;
+}
+
+TEST(Integration, DeletionStreamErdosRenyi) {
+  const vertex_id n = 200;
+  auto graph = gen_erdos_renyi(n, 800, 42);
+  auto stream = make_deletion_stream(graph, n, 100, 40, 16, 43);
+  drive_stream(stream, n, level_search_kind::interleaved, true);
+}
+
+TEST(Integration, DeletionStreamSimpleEngine) {
+  const vertex_id n = 200;
+  auto graph = gen_erdos_renyi(n, 800, 44);
+  auto stream = make_deletion_stream(graph, n, 100, 40, 16, 45);
+  drive_stream(stream, n, level_search_kind::simple, true);
+}
+
+TEST(Integration, SlidingWindowRmat) {
+  const vertex_id n = 256;
+  auto graph = gen_rmat(n, 2000, 46);
+  auto stream = make_sliding_window_stream(graph, 600, 150, 47);
+  // Append a query wave at the end.
+  update_batch q;
+  q.op = update_batch::kind::query;
+  q.queries = make_query_batch(n, 300, 48);
+  stream.push_back(q);
+  drive_stream(stream, n, level_search_kind::interleaved, false);
+}
+
+TEST(Integration, GridChurn) {
+  const vertex_id rows = 12, cols = 12;
+  auto graph = gen_grid(rows, cols);
+  auto stream = make_deletion_stream(graph, rows * cols, 64, 24, 10, 49);
+  drive_stream(stream, rows * cols, level_search_kind::interleaved, true);
+}
+
+TEST(Integration, WorkerCountsProduceIdenticalAnswers) {
+  const vertex_id n = 160;
+  auto graph = gen_erdos_renyi(n, 600, 50);
+  auto stream = make_deletion_stream(graph, n, 80, 32, 0, 51);
+  auto queries = make_query_batch(n, 500, 52);
+
+  unsigned before = num_workers();
+  std::vector<std::vector<bool>> answers;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    set_num_workers(workers);
+    options o;
+    o.search = level_search_kind::interleaved;
+    batch_dynamic_connectivity dc(n, o);
+    for (const auto& b : stream) {
+      if (b.op == update_batch::kind::insert) dc.batch_insert(b.edges);
+      if (b.op == update_batch::kind::erase) dc.batch_delete(b.edges);
+    }
+    answers.push_back(dc.batch_connected(queries));
+    auto rep = dc.check_invariants();
+    ASSERT_TRUE(rep.ok) << "workers=" << workers << ": " << rep.message;
+  }
+  set_num_workers(before);
+  EXPECT_EQ(answers[0], answers[1]);
+  EXPECT_EQ(answers[0], answers[2]);
+}
+
+TEST(Integration, LargeSparseLifecycle) {
+  // A bigger run to exercise multi-level pushes: n=2048, m=3n.
+  const vertex_id n = 2048;
+  auto graph = gen_erdos_renyi(n, 3 * n, 53);
+  options o;
+  batch_dynamic_connectivity dc(n, o);
+  static_recompute_connectivity sc(n);
+  auto stream = make_deletion_stream(graph, n, 1024, 512, 0, 54);
+  for (const auto& b : stream) {
+    if (b.op == update_batch::kind::insert) {
+      dc.batch_insert(b.edges);
+      sc.batch_insert(b.edges);
+    } else if (b.op == update_batch::kind::erase) {
+      dc.batch_delete(b.edges);
+      sc.batch_delete(b.edges);
+    }
+    auto qs = make_query_batch(n, 64, 55);
+    ASSERT_EQ(dc.batch_connected(qs), sc.batch_connected(qs));
+  }
+  EXPECT_EQ(dc.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace bdc

@@ -1,0 +1,150 @@
+// Link-cut tree tests: path-maximum queries against a brute-force forest
+// model under randomized link/cut churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "lct/link_cut_tree.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+/// Brute-force forest: adjacency with weights; path max by BFS.
+struct forest_model {
+  explicit forest_model(vertex_id n) : adj(n) {}
+  std::vector<std::map<vertex_id, uint64_t>> adj;
+
+  void link(vertex_id u, vertex_id v, uint64_t w) {
+    adj[u][v] = w;
+    adj[v][u] = w;
+  }
+  void cut(vertex_id u, vertex_id v) {
+    adj[u].erase(v);
+    adj[v].erase(u);
+  }
+  /// (reachable, max weight on path).
+  std::pair<bool, uint64_t> path_max(vertex_id u, vertex_id v) const {
+    std::vector<int64_t> best(adj.size(), -1);
+    std::queue<vertex_id> q;
+    best[u] = 0;
+    q.push(u);
+    while (!q.empty()) {
+      vertex_id x = q.front();
+      q.pop();
+      for (auto& [y, w] : adj[x]) {
+        if (best[y] >= 0) continue;
+        best[y] = std::max<int64_t>(best[x], static_cast<int64_t>(w));
+        q.push(y);
+      }
+    }
+    if (best[v] < 0) return {false, 0};
+    return {true, static_cast<uint64_t>(best[v])};
+  }
+};
+
+TEST(Lct, Basics) {
+  link_cut_tree t(5);
+  EXPECT_FALSE(t.connected(0, 1));
+  t.link(0, 1, 10);
+  t.link(1, 2, 5);
+  EXPECT_TRUE(t.connected(0, 2));
+  auto pm = t.path_max(0, 2);
+  ASSERT_TRUE(pm.connected);
+  EXPECT_EQ(pm.weight, 10u);
+  EXPECT_EQ(pm.max_edge, (edge{0, 1}));
+  t.cut(0, 1);
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_TRUE(t.connected(1, 2));
+  EXPECT_TRUE(t.check_consistency().empty());
+}
+
+TEST(Lct, PathMaxOnLongPath) {
+  const vertex_id n = 200;
+  link_cut_tree t(n);
+  for (vertex_id i = 1; i < n; ++i) t.link(i - 1, i, i);  // weight = i
+  for (vertex_id a = 0; a < n; a += 37) {
+    for (vertex_id b = a + 1; b < n; b += 41) {
+      auto pm = t.path_max(a, b);
+      ASSERT_TRUE(pm.connected);
+      EXPECT_EQ(pm.weight, b);  // heaviest edge on a..b is (b-1, b)
+    }
+  }
+  EXPECT_TRUE(t.check_consistency().empty());
+}
+
+TEST(Lct, SelfAndDisconnectedQueries) {
+  link_cut_tree t(4);
+  EXPECT_TRUE(t.connected(2, 2));
+  EXPECT_FALSE(t.path_max(2, 2).connected);
+  EXPECT_FALSE(t.path_max(0, 3).connected);
+}
+
+class LctRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LctRandomSweep, AgainstBruteForce) {
+  int trial = GetParam();
+  random_stream rs(trial * 1009 + 3);
+  const vertex_id n = 80;
+  link_cut_tree t(n);
+  forest_model model(n);
+  std::set<std::pair<vertex_id, vertex_id>> tree_edges;
+
+  for (int step = 0; step < 2500; ++step) {
+    vertex_id u = static_cast<vertex_id>(rs.next(n));
+    vertex_id v = static_cast<vertex_id>(rs.next(n));
+    if (u == v) continue;
+    if (!t.connected(u, v)) {
+      uint64_t w = 1 + rs.next(1000);
+      t.link(u, v, w);
+      model.link(u, v, w);
+      tree_edges.insert({edge{u, v}.canonical().u,
+                         edge{u, v}.canonical().v});
+    } else if (!tree_edges.empty() && rs.next(2) == 0) {
+      auto it = tree_edges.begin();
+      std::advance(it, rs.next(tree_edges.size()));
+      t.cut(it->first, it->second);
+      model.cut(it->first, it->second);
+      tree_edges.erase(it);
+    }
+    if (step % 50 == 0) {
+      for (int q = 0; q < 20; ++q) {
+        vertex_id a = static_cast<vertex_id>(rs.next(n));
+        vertex_id b = static_cast<vertex_id>(rs.next(n));
+        if (a == b) continue;
+        auto [reach, w] = model.path_max(a, b);
+        ASSERT_EQ(t.connected(a, b), reach) << "step " << step;
+        if (reach) {
+          auto pm = t.path_max(a, b);
+          ASSERT_TRUE(pm.connected);
+          ASSERT_EQ(pm.weight, w) << "step " << step;
+        }
+      }
+    }
+    if (step % 500 == 0)
+      ASSERT_TRUE(t.check_consistency().empty()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, LctRandomSweep, ::testing::Range(0, 6));
+
+TEST(Lct, EdgeNodeRecycling) {
+  link_cut_tree t(4);
+  for (int i = 0; i < 100; ++i) {
+    t.link(0, 1, static_cast<uint64_t>(i + 1));
+    t.link(1, 2, static_cast<uint64_t>(2 * i + 1));
+    auto pm = t.path_max(0, 2);
+    ASSERT_TRUE(pm.connected);
+    EXPECT_EQ(pm.weight, std::max<uint64_t>(i + 1, 2 * i + 1));
+    t.cut(0, 1);
+    t.cut(1, 2);
+  }
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_TRUE(t.check_consistency().empty());
+}
+
+}  // namespace
+}  // namespace bdc

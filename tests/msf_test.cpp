@@ -1,0 +1,153 @@
+// Incremental MSF tests against a Kruskal oracle: forest weight, forest
+// structure (component partition), exchange behaviour, and the reference
+// deletion path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/graph_gen.hpp"
+#include "msf/incremental_msf.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+/// Kruskal reference: total MSF weight over the given edges.
+uint64_t kruskal_weight(vertex_id n, std::vector<weighted_edge> es) {
+  std::sort(es.begin(), es.end(),
+            [](const weighted_edge& a, const weighted_edge& b) {
+              return a.weight < b.weight;
+            });
+  union_find uf(n);
+  uint64_t total = 0;
+  for (auto& we : es) {
+    if (we.e.is_self_loop()) continue;
+    if (uf.unite(we.e.u, we.e.v)) total += we.weight;
+  }
+  return total;
+}
+
+TEST(Msf, BasicExchange) {
+  incremental_msf msf(3);
+  msf.insert({{0, 1}, 10});
+  msf.insert({{1, 2}, 20});
+  EXPECT_EQ(msf.msf_weight(), 30u);
+  EXPECT_EQ(msf.num_forest_edges(), 2u);
+  // A lighter edge closing the triangle evicts the heaviest path edge.
+  msf.insert({{0, 2}, 5});
+  EXPECT_EQ(msf.msf_weight(), 15u);
+  EXPECT_TRUE(msf.is_forest_edge({0, 2}));
+  EXPECT_FALSE(msf.is_forest_edge({1, 2}));
+  EXPECT_TRUE(msf.has_edge({1, 2}));  // demoted, not dropped
+  // A heavier edge changes nothing.
+  msf.insert({{1, 2}, 50});  // already present -> ignored
+  EXPECT_EQ(msf.num_edges(), 3u);
+}
+
+TEST(Msf, DuplicatesAndSelfLoopsIgnored) {
+  incremental_msf msf(4);
+  std::vector<weighted_edge> batch = {
+      {{0, 1}, 3}, {{1, 0}, 7}, {{2, 2}, 1}, {{1, 2}, 4}};
+  msf.batch_insert(batch);
+  EXPECT_EQ(msf.num_edges(), 2u);
+  EXPECT_EQ(msf.msf_weight(), 7u);  // 3 + 4
+}
+
+class MsfRandomSweep
+    : public ::testing::TestWithParam<std::pair<int, size_t>> {};
+
+TEST_P(MsfRandomSweep, WeightMatchesKruskal) {
+  auto [trial, batch_size] = GetParam();
+  random_stream rs(trial * 31 + 7);
+  const vertex_id n = 150;
+  incremental_msf msf(n);
+  std::vector<weighted_edge> all;
+  std::set<std::pair<vertex_id, vertex_id>> seen;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<weighted_edge> batch;
+    for (size_t t = 0; t < batch_size; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      if (u == v) continue;
+      edge c = edge{u, v}.canonical();
+      if (!seen.insert({c.u, c.v}).second) continue;
+      weighted_edge we{c, 1 + rs.next(10000)};
+      batch.push_back(we);
+      all.push_back(we);
+    }
+    msf.batch_insert(batch);
+    ASSERT_EQ(msf.msf_weight(), kruskal_weight(n, all))
+        << "round " << round;
+    ASSERT_EQ(msf.num_edges(), all.size());
+    // The forest spans the same components as the full graph.
+    union_find uf_all(n), uf_forest(n);
+    for (auto& we : all) uf_all.unite(we.e.u, we.e.v);
+    for (auto& we : msf.forest_edges()) uf_forest.unite(we.e.u, we.e.v);
+    for (vertex_id v = 0; v < n; ++v)
+      ASSERT_EQ(uf_all.connected(0, v), uf_forest.connected(0, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trials, MsfRandomSweep,
+    ::testing::Values(std::pair<int, size_t>{0, 1},
+                      std::pair<int, size_t>{1, 10},
+                      std::pair<int, size_t>{2, 100},
+                      std::pair<int, size_t>{3, 500},
+                      std::pair<int, size_t>{4, 100}));
+
+TEST(Msf, EraseNonForestIsCheapAndSafe) {
+  incremental_msf msf(4);
+  msf.batch_insert(std::vector<weighted_edge>{
+      {{0, 1}, 1}, {{1, 2}, 2}, {{0, 2}, 9}});
+  EXPECT_TRUE(msf.erase_nonforest({0, 2}));
+  EXPECT_FALSE(msf.erase_nonforest({0, 1}));  // forest edge: refused
+  EXPECT_EQ(msf.msf_weight(), 3u);
+  EXPECT_EQ(msf.num_edges(), 2u);
+}
+
+TEST(Msf, EraseForestEdgeFindsLightestReplacement) {
+  incremental_msf msf(4);
+  // Square with one diagonal: forest = three lightest.
+  msf.batch_insert(std::vector<weighted_edge>{{{0, 1}, 1},
+                                              {{1, 2}, 2},
+                                              {{2, 3}, 3},
+                                              {{3, 0}, 10},
+                                              {{1, 3}, 7}});
+  EXPECT_EQ(msf.msf_weight(), 1u + 2 + 3);
+  // Deleting (2,3) must pull in (1,3) (weight 7), not (3,0) (weight 10).
+  EXPECT_TRUE(msf.erase({2, 3}));
+  EXPECT_EQ(msf.msf_weight(), 1u + 2 + 7);
+  EXPECT_TRUE(msf.is_forest_edge({1, 3}));
+  EXPECT_TRUE(msf.connected(0, 3));
+}
+
+TEST(Msf, EraseAgainstKruskalOracle) {
+  random_stream rs(99);
+  const vertex_id n = 60;
+  incremental_msf msf(n);
+  std::vector<weighted_edge> live;
+  // Build a dense graph.
+  for (vertex_id u = 0; u < n; ++u) {
+    for (vertex_id v = u + 1; v < n; v += 1 + u % 3) {
+      weighted_edge we{{u, v}, 1 + rs.next(1000)};
+      live.push_back(we);
+    }
+  }
+  msf.batch_insert(live);
+  ASSERT_EQ(msf.msf_weight(), kruskal_weight(n, live));
+  // Delete random edges one at a time; weight must track Kruskal.
+  for (int step = 0; step < 80 && !live.empty(); ++step) {
+    size_t idx = rs.next(live.size());
+    weighted_edge victim = live[idx];
+    live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+    ASSERT_TRUE(msf.erase(victim.e));
+    ASSERT_EQ(msf.msf_weight(), kruskal_weight(n, live)) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace bdc

@@ -1,0 +1,132 @@
+// Static spanning forest / connectivity tests against BFS references.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "gen/graph_gen.hpp"
+#include "parallel/scheduler.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+std::vector<uint32_t> bfs_labels(size_t n, const std::vector<edge>& es) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const edge& e : es) {
+    if (e.is_self_loop()) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<uint32_t> label(n, UINT32_MAX);
+  for (size_t s = 0; s < n; ++s) {
+    if (label[s] != UINT32_MAX) continue;
+    label[s] = static_cast<uint32_t>(s);
+    std::queue<uint32_t> q;
+    q.push(static_cast<uint32_t>(s));
+    while (!q.empty()) {
+      uint32_t u = q.front();
+      q.pop();
+      for (uint32_t v : adj[u]) {
+        if (label[v] == UINT32_MAX) {
+          label[v] = static_cast<uint32_t>(s);
+          q.push(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+bool same_partition(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<uint32_t, uint32_t> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it1, new1] = fwd.emplace(a[i], b[i]);
+    if (!new1 && it1->second != b[i]) return false;
+    auto [it2, new2] = bwd.emplace(b[i], a[i]);
+    if (!new2 && it2->second != a[i]) return false;
+  }
+  return true;
+}
+
+TEST(UnionFind, Sequential) {
+  union_find uf(10);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+}
+
+class SpanningSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SpanningSweep, LabelsMatchBfs) {
+  auto [n, m] = GetParam();
+  auto es = gen_erdos_renyi(static_cast<vertex_id>(n), m, n * 1000 + m);
+  auto got = connected_components(n, es);
+  auto expect = bfs_labels(n, es);
+  EXPECT_TRUE(same_partition(got, expect));
+}
+
+TEST_P(SpanningSweep, ForestPropertyAndCoverage) {
+  auto [n, m] = GetParam();
+  auto es = gen_erdos_renyi(static_cast<vertex_id>(n), m, n * 977 + m);
+  auto sf = spanning_forest(n, es);
+  // Chosen edges form a forest (checked via union-find: every chosen edge
+  // merges two distinct components).
+  union_find uf(n);
+  for (uint32_t idx : sf.tree_edge_indices) {
+    ASSERT_TRUE(uf.unite(es[idx].u, es[idx].v))
+        << "cycle in spanning forest";
+  }
+  // The forest spans: its components equal the graph's components.
+  auto expect = bfs_labels(n, es);
+  std::vector<uint32_t> forest_labels(n);
+  for (size_t v = 0; v < n; ++v)
+    forest_labels[v] = uf.find(static_cast<uint32_t>(v));
+  EXPECT_TRUE(same_partition(forest_labels, expect));
+  // Returned labels agree too.
+  EXPECT_TRUE(same_partition(sf.labels, expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpanningSweep,
+    ::testing::Values(std::pair<size_t, size_t>{2, 1},
+                      std::pair<size_t, size_t>{10, 5},
+                      std::pair<size_t, size_t>{100, 50},
+                      std::pair<size_t, size_t>{100, 500},
+                      std::pair<size_t, size_t>{1000, 200},
+                      std::pair<size_t, size_t>{10000, 30000},
+                      std::pair<size_t, size_t>{50000, 100000}));
+
+TEST(Spanning, SelfLoopsNeverChosen) {
+  std::vector<edge> es = {{1, 1}, {2, 2}, {1, 2}};
+  auto sf = spanning_forest(5, es);
+  ASSERT_EQ(sf.tree_edge_indices.size(), 1u);
+  EXPECT_EQ(sf.tree_edge_indices[0], 2u);
+}
+
+TEST(Spanning, DuplicateEdgesChooseOne) {
+  std::vector<edge> es(100, edge{0, 1});
+  auto sf = spanning_forest(3, es);
+  EXPECT_EQ(sf.tree_edge_indices.size(), 1u);
+}
+
+TEST(ConcurrentUnionFind, ParallelUnitesWinExactlyOnce) {
+  // All threads try to unite the same pair; exactly one must win.
+  for (int round = 0; round < 100; ++round) {
+    concurrent_union_find uf(4);
+    std::atomic<int> wins{0};
+    parallel_for(0, 64, [&](size_t) {
+      if (uf.unite(1, 2)) wins++;
+    });
+    EXPECT_EQ(wins.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace bdc

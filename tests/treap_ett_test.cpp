@@ -1,0 +1,120 @@
+// Sequential treap ETT tests (the HDT substrate).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "gen/graph_gen.hpp"
+#include "hdt/treap_ett.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+TEST(TreapEtt, Basics) {
+  treap_ett f(5);
+  EXPECT_FALSE(f.connected(0, 1));
+  f.link(0, 1);
+  EXPECT_TRUE(f.connected(0, 1));
+  EXPECT_TRUE(f.has_edge(1, 0));
+  EXPECT_EQ(f.component_size(0), 2u);
+  EXPECT_TRUE(f.check_consistency().empty());
+  f.cut(0, 1);
+  EXPECT_FALSE(f.connected(0, 1));
+  EXPECT_EQ(f.component_size(1), 1u);
+  EXPECT_TRUE(f.check_consistency().empty());
+}
+
+TEST(TreapEtt, PathCutMiddle) {
+  const vertex_id n = 64;
+  treap_ett f(n);
+  for (auto e : gen_path(n)) f.link(e.u, e.v);
+  EXPECT_TRUE(f.connected(0, n - 1));
+  f.cut(20, 21);
+  EXPECT_FALSE(f.connected(0, n - 1));
+  EXPECT_EQ(f.component_size(0), 21u);
+  EXPECT_EQ(f.component_size(n - 1), n - 21);
+  EXPECT_TRUE(f.check_consistency().empty());
+}
+
+TEST(TreapEtt, CountersAndSlotSearch) {
+  treap_ett f(10);
+  for (auto e : gen_path(10)) f.link(e.u, e.v);
+  EXPECT_EQ(f.find_nontree_slot(0), kNoVertex);
+  f.add_counts(3, 0, 2);
+  f.add_counts(7, 1, 0);
+  EXPECT_EQ(f.find_nontree_slot(0), 3u);
+  EXPECT_EQ(f.find_tree_slot(9), 7u);
+  auto cc = f.component_counts(5);
+  EXPECT_EQ(cc.vertices, 10u);
+  EXPECT_EQ(cc.tree_edges, 1u);
+  EXPECT_EQ(cc.nontree_edges, 2u);
+  f.add_counts(3, 0, -2);
+  EXPECT_EQ(f.find_nontree_slot(0), kNoVertex);
+  EXPECT_TRUE(f.check_consistency().empty());
+  // Counter localized to the component, not globally.
+  EXPECT_EQ(f.component_counts(5).nontree_edges, 0u);
+}
+
+class TreapRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreapRandomSweep, LinkCutAgainstOracle) {
+  int trial = GetParam();
+  random_stream rs(trial * 37 + 2);
+  const vertex_id n = 150;
+  treap_ett f(n, 900 + trial);
+  std::set<std::pair<vertex_id, vertex_id>> tree_edges;
+  for (int step = 0; step < 3000; ++step) {
+    vertex_id u = static_cast<vertex_id>(rs.next(n));
+    vertex_id v = static_cast<vertex_id>(rs.next(n));
+    if (u == v) continue;
+    if (!f.connected(u, v)) {
+      f.link(u, v);
+      tree_edges.insert({edge{u, v}.canonical().u, edge{u, v}.canonical().v});
+    } else if (!tree_edges.empty() && rs.next(2) == 0) {
+      // Cut a random existing tree edge.
+      auto it = tree_edges.begin();
+      std::advance(it, rs.next(tree_edges.size()));
+      f.cut(it->first, it->second);
+      tree_edges.erase(it);
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(f.check_consistency().empty()) << "step " << step;
+      union_find oracle(n);
+      for (auto& te : tree_edges) oracle.unite(te.first, te.second);
+      for (int q = 0; q < 100; ++q) {
+        vertex_id a = static_cast<vertex_id>(rs.next(n));
+        vertex_id b = static_cast<vertex_id>(rs.next(n));
+        ASSERT_EQ(f.connected(a, b), oracle.connected(a, b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, TreapRandomSweep, ::testing::Range(0, 6));
+
+TEST(TreapEtt, ComponentVerticesTourOrder) {
+  treap_ett f(6);
+  f.link(0, 1);
+  f.link(1, 2);
+  f.link(2, 3);
+  auto vs = f.component_vertices(1);
+  std::set<vertex_id> got(vs.begin(), vs.end());
+  EXPECT_EQ(got, (std::set<vertex_id>{0, 1, 2, 3}));
+  EXPECT_EQ(vs.size(), 4u);
+}
+
+TEST(TreapEtt, StarStress) {
+  const vertex_id n = 300;
+  treap_ett f(n);
+  for (vertex_id i = 1; i < n; ++i) f.link(0, i);
+  EXPECT_EQ(f.component_size(0), n);
+  for (vertex_id i = 1; i < n; i += 2) f.cut(0, i);
+  for (vertex_id i = 1; i < n; ++i)
+    EXPECT_EQ(f.connected(0, i), i % 2 == 0);
+  EXPECT_TRUE(f.check_consistency().empty());
+}
+
+}  // namespace
+}  // namespace bdc

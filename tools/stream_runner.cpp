@@ -1,0 +1,242 @@
+// stream_runner — operational CLI for the library: generate batched
+// update-stream files and replay them against any of the implemented
+// structures, reporting throughput and correctness spot-checks. Useful for
+// profiling real workloads without writing C++.
+//
+// Usage:
+//   stream_runner gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
+//   stream_runner run <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
+//                      incremental> <stream-file>
+//   stream_runner            (no args: self-demo on a generated stream)
+//
+// Stream file format (text): first line "n <N>", then one line per batch:
+//   I <u1> <v1> <u2> <v2> ...     insertion batch
+//   D <u1> <v1> ...               deletion batch
+//   Q <u1> <v1> ...               connectivity-query batch
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/incremental_connectivity.hpp"
+#include "baselines/static_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "hdt/hdt_connectivity.hpp"
+#include "util/timer.hpp"
+
+using namespace bdc;
+
+namespace {
+
+void write_stream(const std::string& path, vertex_id n,
+                  const update_stream& stream) {
+  std::ofstream out(path);
+  out << "n " << n << "\n";
+  for (const auto& b : stream) {
+    switch (b.op) {
+      case update_batch::kind::insert:
+        out << "I";
+        for (const edge& e : b.edges) out << ' ' << e.u << ' ' << e.v;
+        break;
+      case update_batch::kind::erase:
+        out << "D";
+        for (const edge& e : b.edges) out << ' ' << e.u << ' ' << e.v;
+        break;
+      case update_batch::kind::query:
+        out << "Q";
+        for (auto& [u, v] : b.queries) out << ' ' << u << ' ' << v;
+        break;
+    }
+    out << "\n";
+  }
+}
+
+bool read_stream(const std::string& path, vertex_id& n,
+                 update_stream& stream) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string tag;
+  if (!(in >> tag) || tag != "n" || !(in >> n)) return false;
+  std::string line;
+  std::getline(in, line);  // eat rest of header line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char op;
+    ls >> op;
+    update_batch b;
+    vertex_id u, v;
+    switch (op) {
+      case 'I':
+      case 'D':
+        b.op = op == 'I' ? update_batch::kind::insert
+                         : update_batch::kind::erase;
+        while (ls >> u >> v) b.edges.push_back({u, v});
+        break;
+      case 'Q':
+        b.op = update_batch::kind::query;
+        while (ls >> u >> v) b.queries.push_back({u, v});
+        break;
+      default:
+        return false;
+    }
+    stream.push_back(std::move(b));
+  }
+  return true;
+}
+
+struct replay_report {
+  double insert_sec = 0, delete_sec = 0, query_sec = 0;
+  size_t inserted = 0, deleted = 0, queried = 0, connected_answers = 0;
+};
+
+template <typename Structure>
+replay_report replay(Structure& s, const update_stream& stream) {
+  replay_report r;
+  timer t;
+  for (const auto& b : stream) {
+    switch (b.op) {
+      case update_batch::kind::insert:
+        t.reset();
+        s.batch_insert(b.edges);
+        r.insert_sec += t.elapsed();
+        r.inserted += b.edges.size();
+        break;
+      case update_batch::kind::erase:
+        t.reset();
+        s.batch_delete(b.edges);
+        r.delete_sec += t.elapsed();
+        r.deleted += b.edges.size();
+        break;
+      case update_batch::kind::query: {
+        t.reset();
+        auto ans = s.batch_connected(b.queries);
+        r.query_sec += t.elapsed();
+        r.queried += b.queries.size();
+        for (bool a : ans) r.connected_answers += a;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+/// Adapters give every structure the same batch surface.
+struct incremental_adapter {
+  incremental_connectivity inner;
+  explicit incremental_adapter(vertex_id n) : inner(n) {}
+  void batch_insert(std::span<const edge> es) { inner.batch_insert(es); }
+  void batch_delete(std::span<const edge>) {
+    std::fprintf(stderr,
+                 "warning: incremental structure ignores deletions\n");
+  }
+  std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> qs) {
+    return inner.batch_connected(qs);
+  }
+};
+
+void print_report(const char* name, const replay_report& r) {
+  auto rate = [](size_t items, double sec) {
+    return sec > 0 ? static_cast<double>(items) / sec / 1e3 : 0.0;
+  };
+  std::printf("%-16s ins %8zu in %7.3fs (%8.1f K/s) | del %8zu in %7.3fs "
+              "(%8.1f K/s) | qry %8zu in %7.3fs (%8.1f K/s) | conn %zu\n",
+              name, r.inserted, r.insert_sec, rate(r.inserted, r.insert_sec),
+              r.deleted, r.delete_sec, rate(r.deleted, r.delete_sec),
+              r.queried, r.query_sec, rate(r.queried, r.query_sec),
+              r.connected_answers);
+}
+
+int run_structure(const std::string& which, vertex_id n,
+                  const update_stream& stream) {
+  if (which == "dynamic" || which == "dynamic-simple" ||
+      which == "dynamic-scanall") {
+    options o;
+    o.search = which == "dynamic" ? level_search_kind::interleaved
+               : which == "dynamic-simple" ? level_search_kind::simple
+                                           : level_search_kind::scan_all;
+    batch_dynamic_connectivity s(n, o);
+    print_report(which.c_str(), replay(s, stream));
+  } else if (which == "hdt") {
+    hdt_connectivity s(n);
+    print_report("hdt", replay(s, stream));
+  } else if (which == "static") {
+    static_recompute_connectivity s(n);
+    print_report("static", replay(s, stream));
+  } else if (which == "incremental") {
+    incremental_adapter s(n);
+    print_report("incremental", replay(s, stream));
+  } else {
+    std::fprintf(stderr, "unknown structure '%s'\n", which.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int self_demo() {
+  std::printf("stream_runner self-demo: n=4096, m=16384, deletion stream "
+              "with batch 512 + queries\n");
+  const vertex_id n = 4096;
+  auto graph = gen_erdos_renyi(n, 4 * n, 1);
+  auto stream = make_deletion_stream(graph, n, 1024, 512, 256, 2);
+  for (const char* s :
+       {"dynamic", "dynamic-simple", "hdt", "static"}) {
+    if (int rc = run_structure(s, n, stream); rc != 0) return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return self_demo();
+  std::string cmd = argv[1];
+  if (cmd == "gen" && argc == 8) {
+    std::string kind = argv[2];
+    vertex_id n = static_cast<vertex_id>(std::stoul(argv[3]));
+    size_t m = std::stoul(argv[4]);
+    size_t batch = std::stoul(argv[5]);
+    uint64_t seed = std::stoull(argv[6]);
+    std::vector<edge> graph;
+    if (kind == "erdos") {
+      graph = gen_erdos_renyi(n, m, seed);
+    } else if (kind == "rmat") {
+      graph = gen_rmat(n, m, seed);
+    } else if (kind == "grid") {
+      vertex_id side = 1;
+      while (static_cast<size_t>(side) * side < n) ++side;
+      graph = gen_grid(side, side);
+      n = side * side;
+    } else {
+      std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+      return 2;
+    }
+    auto stream =
+        make_deletion_stream(graph, n, batch, batch, batch / 4, seed + 1);
+    write_stream(argv[7], n, stream);
+    std::printf("wrote %zu batches over %u vertices to %s\n", stream.size(),
+                n, argv[7]);
+    return 0;
+  }
+  if (cmd == "run" && argc == 4) {
+    vertex_id n = 0;
+    update_stream stream;
+    if (!read_stream(argv[3], n, stream)) {
+      std::fprintf(stderr, "cannot read stream file '%s'\n", argv[3]);
+      return 2;
+    }
+    return run_structure(argv[2], n, stream);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
+               "  %s run <dynamic|dynamic-simple|dynamic-scanall|hdt|"
+               "static|incremental> <stream-file>\n"
+               "  %s                (self-demo)\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}
