@@ -12,7 +12,27 @@
 #include <cstdint>
 #include <memory>
 
+#if defined(__SANITIZE_THREAD__)
+#define BDC_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BDC_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef BDC_TSAN_ENABLED
+#define BDC_TSAN_ENABLED 0
+#endif
+
 namespace bdc::internal {
+
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based orderings below (correct per Lê et al.) surface as false
+// races on the job objects the deque hands between threads. Under TSan we
+// promote the fence-dependent relaxed operations to seq_cst so the
+// happens-before edges become visible to the tool; elsewhere the published
+// orderings stand.
+inline constexpr std::memory_order kDequeRelaxed =
+    BDC_TSAN_ENABLED ? std::memory_order_seq_cst : std::memory_order_relaxed;
 
 class job;
 
@@ -34,35 +54,35 @@ class work_stealing_deque {
 
   /// Owner only.
   void push(job* j) {
-    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t b = bottom_.load(kDequeRelaxed);
     [[maybe_unused]] int64_t t = top_.load(std::memory_order_acquire);
     assert(b - t < kCapacity && "work_stealing_deque overflow");
-    buffer_[b & kMask].store(j, std::memory_order_relaxed);
+    buffer_[b & kMask].store(j, kDequeRelaxed);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, kDequeRelaxed);
   }
 
   /// Owner only. Returns nullptr if the deque is empty or the last element
   /// was lost to a concurrent thief.
   job* pop() {
-    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_relaxed);
+    int64_t b = bottom_.load(kDequeRelaxed) - 1;
+    bottom_.store(b, kDequeRelaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    int64_t t = top_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(kDequeRelaxed);
     job* result = nullptr;
     if (t <= b) {
-      result = buffer_[b & kMask].load(std::memory_order_relaxed);
+      result = buffer_[b & kMask].load(kDequeRelaxed);
       if (t == b) {
         // Single element left: race against thieves for it.
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
-                                          std::memory_order_relaxed)) {
+                                          kDequeRelaxed)) {
           result = nullptr;  // lost the race
         }
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, kDequeRelaxed);
       }
     } else {
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, kDequeRelaxed);
     }
     return result;
   }
@@ -73,9 +93,9 @@ class work_stealing_deque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
-      job* result = buffer_[t & kMask].load(std::memory_order_relaxed);
+      job* result = buffer_[t & kMask].load(kDequeRelaxed);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                        std::memory_order_relaxed)) {
+                                        kDequeRelaxed)) {
         return nullptr;
       }
       return result;

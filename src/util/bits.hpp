@@ -1,6 +1,17 @@
 // Small bit-manipulation helpers.
 #pragma once
 
+// This header (and the rest of bdc) requires C++20 for <bit>. Without the
+// guard, a build misconfigured to C++17 dies in a wall of confusing
+// constexpr errors inside every translation unit that touches these
+// helpers; fail once, loudly, with the actual cause instead. MSVC keeps
+// __cplusplus at 199711L unless /Zc:__cplusplus is passed, so check its
+// _MSVC_LANG too.
+#if (defined(_MSVC_LANG) && _MSVC_LANG < 202002L) || \
+    (!defined(_MSVC_LANG) && (!defined(__cplusplus) || __cplusplus < 202002L))
+#error "bdc requires C++20 (std::countl_zero in <bit>): compile with -std=c++20 or let CMake set it"
+#else
+
 #include <bit>
 #include <cstdint>
 
@@ -24,3 +35,5 @@ static_assert(log2_floor(1) == 0 && log2_floor(8) == 3 && log2_floor(9) == 3);
 static_assert(next_pow2(1) == 1 && next_pow2(5) == 8);
 
 }  // namespace bdc
+
+#endif  // __cplusplus >= 202002L

@@ -124,8 +124,9 @@ TEST_P(LctRandomSweep, AgainstBruteForce) {
         }
       }
     }
-    if (step % 500 == 0)
+    if (step % 500 == 0) {
       ASSERT_TRUE(t.check_consistency().empty()) << "step " << step;
+    }
   }
 }
 
