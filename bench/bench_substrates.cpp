@@ -1,14 +1,24 @@
-// E10 — substrate cost model: the parallel primitives the analysis treats
-// as O(k) work (semisort [24], parallel dictionary [23], spanning forest
-// [22], scan/pack [34]) should show flat-ish per-element costs as input
-// size grows.
+// E10 — substrate cost model, in two halves:
+//
+//  1. The parallel primitives the analysis treats as O(k) work (semisort
+//     [24], parallel dictionary [23], spanning forest [22], scan/pack
+//     [34]) should show flat-ish per-element costs as input size grows.
+//
+//  2. Head-to-head Euler-tour substrate A/B (skiplist vs treap) on the
+//     identical batch_link / batch_cut / batch_connected workloads, plus
+//     pooled vs heap node allocation. Every substrate benchmark takes the
+//     substrate as its first argument (0 = skiplist, 1 = treap), so a
+//     single JSON run yields the full comparison matrix.
 #include <benchmark/benchmark.h>
 
+#include "ett/ett_substrate.hpp"
 #include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "parallel/primitives.hpp"
 #include "sequence/semisort.hpp"
 #include "spanning/union_find.hpp"
+#include "util/node_pool.hpp"
 #include "util/random.hpp"
 
 using namespace bdc;
@@ -63,5 +73,110 @@ static void BM_ScanPack(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_ScanPack)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// ---------------------------------------------------------------------
+// Euler-tour substrate A/B. Arg(0): substrate (0 = skiplist, 1 = treap);
+// Arg(1): batch size k.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr vertex_id kEttN = 1 << 14;
+
+substrate substrate_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? substrate::skiplist : substrate::treap;
+}
+
+void set_substrate_label(benchmark::State& state) {
+  state.SetLabel(to_string(substrate_of(state)));
+}
+}  // namespace
+
+static void BM_SubstrateLinkCut(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(1));
+  auto f = make_ett(substrate_of(state), kEttN, 11);
+  auto forest_edges =
+      gen_random_forest(kEttN, kEttN / 2 >= k ? kEttN - k : 1, 12);
+  forest_edges.resize(std::min(forest_edges.size(), k));
+  std::span<const edge> batch(forest_edges.data(), forest_edges.size());
+  for (auto _ : state) {
+    f->batch_link(batch);
+    f->batch_cut(batch);
+  }
+  set_substrate_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(2 * batch.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SubstrateLinkCut)
+    ->ArgsProduct({{0, 1}, {16, 256, 4096}})
+    ->ArgNames({"substrate", "k"});
+
+static void BM_SubstrateBatchConnected(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(1));
+  auto f = make_ett(substrate_of(state), kEttN, 13);
+  f->batch_link(gen_random_forest(kEttN, 16, 14));
+  auto qs = make_query_batch(kEttN, k, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->batch_connected(qs));
+  }
+  set_substrate_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(k) * state.iterations());
+}
+BENCHMARK(BM_SubstrateBatchConnected)
+    ->ArgsProduct({{0, 1}, {256, 4096, 65536}})
+    ->ArgNames({"substrate", "k"});
+
+static void BM_SubstrateCountsAndFetch(benchmark::State& state) {
+  auto f = make_ett(substrate_of(state), kEttN, 16);
+  f->batch_link(gen_random_tree(kEttN, 17));
+  std::vector<ett_substrate::count_delta> up(256), down(256);
+  for (uint32_t i = 0; i < 256; ++i) {
+    up[i] = {i * 5, 0, 2};
+    down[i] = {i * 5, 0, -2};
+  }
+  for (auto _ : state) {
+    f->batch_add_counts(up);
+    benchmark::DoNotOptimize(f->fetch_nontree(7, 128));
+    f->batch_add_counts(down);
+  }
+  set_substrate_label(state);
+  state.SetItemsProcessed(512 * state.iterations());
+}
+BENCHMARK(BM_SubstrateCountsAndFetch)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("substrate");
+
+// ---------------------------------------------------------------------
+// Pooled vs per-node heap allocation (the acceptance gate for
+// util/node_pool.hpp: the pool must not lose to operator new on the
+// alloc/free churn a batch insert/delete performs).
+// ---------------------------------------------------------------------
+
+static void BM_NodePoolAllocFree(benchmark::State& state) {
+  constexpr size_t kNodeBytes = 96;  // typical low-height skip-list node
+  node_pool pool;
+  std::vector<void*> ps(4096);
+  for (auto _ : state) {
+    for (auto& p : ps) p = pool.allocate(kNodeBytes);
+    for (void* p : ps) pool.deallocate(p, kNodeBytes);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ps.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NodePoolAllocFree);
+
+static void BM_HeapAllocFree(benchmark::State& state) {
+  constexpr size_t kNodeBytes = 96;
+  std::vector<void*> ps(4096);
+  for (auto _ : state) {
+    for (auto& p : ps) p = ::operator new(kNodeBytes);
+    for (void* p : ps) ::operator delete(p);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ps.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HeapAllocFree);
 
 BENCHMARK_MAIN();

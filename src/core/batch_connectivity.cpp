@@ -43,7 +43,7 @@ void dedupe(std::vector<edge>& es) { sort_unique(es); }
 
 batch_dynamic_connectivity::batch_dynamic_connectivity(vertex_id n,
                                                        options opts)
-    : opts_(opts), ls_(n, opts.seed) {}
+    : opts_(opts), ls_(n, opts.seed, opts.substrate) {}
 
 // ---------------------------------------------------------------------
 // Queries (Algorithm 1)
@@ -64,7 +64,7 @@ size_t batch_dynamic_connectivity::component_size(vertex_id v) const {
 
 std::vector<vertex_id> batch_dynamic_connectivity::components() const {
   size_t n = num_vertices();
-  const euler_tour_forest* top = ls_.forest_if(ls_.top());
+  const ett_substrate* top = ls_.forest_if(ls_.top());
   std::vector<std::pair<uint64_t, vertex_id>> rep_vertex(n);
   parallel_for(0, n, [&](size_t v) {
     rep_vertex[v] = {reinterpret_cast<uint64_t>(
@@ -97,7 +97,7 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
   if (k == 0) return;
 
   int top = ls_.top();
-  euler_tour_forest& f = ls_.forest(top);
+  ett_substrate& f = ls_.forest(top);
 
   // Contract current components and find which edges grow the forest.
   std::vector<vertex_id> endpoints(2 * k);
@@ -106,9 +106,9 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
     endpoints[2 * i + 1] = clean[i].v;
   });
   auto reps = f.batch_find_rep(endpoints);
-  std::vector<node*> uniq(reps.begin(), reps.end());
+  std::vector<rep> uniq(reps.begin(), reps.end());
   sort_unique(uniq);
-  auto label_of = [&](node* r) {
+  auto label_of = [&](rep r) {
     return static_cast<vertex_id>(
         std::lower_bound(uniq.begin(), uniq.end(), r) - uniq.begin());
   };
@@ -214,11 +214,11 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
 std::vector<batch_dynamic_connectivity::piece>
 batch_dynamic_connectivity::resolve_pieces(
     int level, std::span<const vertex_id> seeds) const {
-  const euler_tour_forest* f = ls_.forest_if(level);
+  const ett_substrate* f = ls_.forest_if(level);
   assert(f != nullptr);
   auto reps = f->batch_find_rep(seeds);
   // Dedupe by representative, keeping one seed per piece.
-  std::vector<std::pair<node*, vertex_id>> pairs(seeds.size());
+  std::vector<std::pair<rep, vertex_id>> pairs(seeds.size());
   parallel_for(0, seeds.size(),
                [&](size_t i) { pairs[i] = {reps[i], seeds[i]}; });
   parallel_sort(pairs);
@@ -240,7 +240,7 @@ batch_dynamic_connectivity::resolve_pieces(
 void batch_dynamic_connectivity::push_tree_edges(
     int level, const std::vector<piece>& active) {
   if (level == 0 || active.empty()) return;
-  euler_tour_forest& f = ls_.forest(level);
+  ett_substrate& f = ls_.forest(level);
   // Gather every level-`level` tree edge of every active piece.
   std::vector<std::vector<edge>> per_piece(active.size());
   parallel_for(
@@ -281,7 +281,7 @@ std::vector<edge> batch_dynamic_connectivity::fetch_nontree_edges(
 void batch_dynamic_connectivity::level_search_simple(
     int level, std::span<const vertex_id> seeds, std::vector<edge>& buffered,
     bool scan_all) {
-  euler_tour_forest& f = ls_.forest(level);
+  ett_substrate& f = ls_.forest(level);
   f.batch_link(buffered);  // line 2: commit lower-level discoveries
 
   uint64_t active_cap = ls_.capacity(level) / 2;
@@ -380,11 +380,11 @@ void batch_dynamic_connectivity::level_search_simple(
         endpoints[2 * i + 1] = found[i].v;
       });
       auto reps = f.batch_find_rep(endpoints);
-      std::vector<node*> uniq(reps.begin(), reps.end());
+      std::vector<rep> uniq(reps.begin(), reps.end());
       sort_unique(uniq);
       std::vector<edge> contracted(found.size());
       parallel_for(0, found.size(), [&](size_t i) {
-        auto lbl = [&](node* r) {
+        auto lbl = [&](rep r) {
           return static_cast<vertex_id>(
               std::lower_bound(uniq.begin(), uniq.end(), r) - uniq.begin());
         };
@@ -417,7 +417,7 @@ void batch_dynamic_connectivity::level_search_simple(
 void batch_dynamic_connectivity::level_search_interleaved(
     int level, std::span<const vertex_id> seeds,
     std::vector<edge>& buffered) {
-  euler_tour_forest& f = ls_.forest(level);
+  ett_substrate& f = ls_.forest(level);
   f.batch_link(buffered);  // line 2
 
   uint64_t active_cap = ls_.capacity(level) / 2;
@@ -427,10 +427,10 @@ void batch_dynamic_connectivity::level_search_interleaved(
   // M: union-find over piece indices tracking supercomponent sizes
   // (line 7). Includes inactive pieces: replacement edges may merge into
   // them.
-  std::unordered_map<node*, uint32_t> piece_index;
+  std::unordered_map<rep, uint32_t> piece_index;
   piece_index.reserve(2 * np);
   for (size_t i = 0; i < np; ++i)
-    piece_index.emplace(pieces[i].rep, static_cast<uint32_t>(i));
+    piece_index.emplace(pieces[i].handle, static_cast<uint32_t>(i));
   union_find m(np);
   std::vector<uint64_t> super_size(np);
   std::vector<uint8_t> active(np);
@@ -661,7 +661,7 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
 
   // Substrate health + per-level structural checks.
   for (int i = 0; i <= top; ++i) {
-    const euler_tour_forest* f = ls_.forest_if(i);
+    const ett_substrate* f = ls_.forest_if(i);
     if (f == nullptr) continue;
     if (auto err = f->check_consistency(); !err.empty())
       return fail("level " + std::to_string(i) + " ETT: " + err);
@@ -679,13 +679,13 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
                   std::to_string(expect));
     // Invariant 1 + augmented size cross-check.
     size_t n = num_vertices();
-    std::unordered_map<node*, size_t> comp_count;
+    std::unordered_map<rep, size_t> comp_count;
     for (size_t v = 0; v < n; ++v)
       comp_count[f->find_rep(static_cast<vertex_id>(v))]++;
     for (size_t v = 0; v < n; ++v) {
       auto cc = f->component_counts(static_cast<vertex_id>(v));
-      node* rep = f->find_rep(static_cast<vertex_id>(v));
-      if (cc.vertices != comp_count[rep])
+      rep handle = f->find_rep(static_cast<vertex_id>(v));
+      if (cc.vertices != comp_count[handle])
         return fail("level " + std::to_string(i) +
                     ": augmented size mismatch at vertex " +
                     std::to_string(v));
@@ -713,14 +713,14 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
     edge e = edge_from_key(key);
     if (rec.level < 0 || rec.level > top) return fail("bad edge level");
     for (int i = 0; i <= top; ++i) {
-      const euler_tour_forest* f = ls_.forest_if(i);
+      const ett_substrate* f = ls_.forest_if(i);
       bool should = rec.is_tree && rec.level <= i;
       bool present = f != nullptr && f->has_edge(e);
       if (should != present)
         return fail("edge placement violated at level " + std::to_string(i));
     }
     if (!rec.is_tree) {
-      const euler_tour_forest* f = ls_.forest_if(rec.level);
+      const ett_substrate* f = ls_.forest_if(rec.level);
       if (f == nullptr || !f->connected(e.u, e.v))
         return fail("non-tree edge's endpoints not connected at its level "
                     "(Invariant 2)");

@@ -41,6 +41,8 @@ enum class level_search_kind {
 
 struct options {
   level_search_kind search = level_search_kind::interleaved;
+  /// Which Euler-tour substrate backs every level's spanning forest.
+  bdc::substrate substrate = bdc::substrate::skiplist;
   uint64_t seed = 0xbdc5eed;
 };
 
@@ -110,12 +112,12 @@ class batch_dynamic_connectivity {
   [[nodiscard]] const level_structure& levels() const { return ls_; }
 
  private:
-  using node = euler_tour_forest::node;
+  using rep = ett_substrate::rep;
 
   /// A still-disconnected component ("piece") during a level search.
   struct piece {
     vertex_id seed;         // any vertex inside the piece
-    node* rep;              // F_level representative (stable per level)
+    rep handle;             // F_level representative (stable per level)
     uint64_t size;          // vertex count
     uint64_t nontree_slots; // incident same-level non-tree slots (2x edges)
     uint64_t tree_slots;    // incident same-level tree slots

@@ -8,8 +8,9 @@
 
 namespace bdc {
 
-level_structure::level_structure(vertex_id n, uint64_t seed)
-    : n_(n), seed_(seed), dict_(256) {
+level_structure::level_structure(vertex_id n, uint64_t seed,
+                                 bdc::substrate sub)
+    : n_(n), seed_(seed), substrate_(sub), dict_(256) {
   int levels = std::max(1, static_cast<int>(log2_ceil(std::max<uint64_t>(
                                2, static_cast<uint64_t>(n)))));
   levels_.resize(static_cast<size_t>(levels));
@@ -17,11 +18,12 @@ level_structure::level_structure(vertex_id n, uint64_t seed)
   (void)forest(top());
 }
 
-euler_tour_forest& level_structure::forest(int level) {
+ett_substrate& level_structure::forest(int level) {
   auto& slot = levels_[static_cast<size_t>(level)].forest;
   if (!slot) {
-    slot = std::make_unique<euler_tour_forest>(
-        n_, hash_combine(seed_, 0x10000u + static_cast<uint64_t>(level)));
+    slot = make_ett(
+        substrate_, n_,
+        hash_combine(seed_, 0x10000u + static_cast<uint64_t>(level)));
   }
   return *slot;
 }
@@ -60,7 +62,7 @@ void level_structure::apply_adjacency(int level, std::span<const edge> es,
   }
 
   // Counter deltas on F_level: one entry per touched vertex.
-  std::vector<euler_tour_forest::count_delta> deltas(groups.num_groups());
+  std::vector<ett_substrate::count_delta> deltas(groups.num_groups());
   parallel_for(0, groups.num_groups(), [&](size_t g) {
     int32_t tree = 0, nontree = 0;
     for (uint32_t i = groups.group_starts[g]; i < groups.group_starts[g + 1];

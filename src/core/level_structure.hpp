@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "adjacency/leveled_adjacency.hpp"
-#include "ett/euler_tour_tree.hpp"
+#include "ett/ett_substrate.hpp"
 #include "util/bits.hpp"
 #include "util/types.hpp"
 
@@ -26,7 +26,8 @@ namespace bdc {
 
 class level_structure {
  public:
-  level_structure(vertex_id n, uint64_t seed);
+  level_structure(vertex_id n, uint64_t seed,
+                  bdc::substrate sub = substrate::skiplist);
 
   [[nodiscard]] vertex_id num_vertices() const { return n_; }
   [[nodiscard]] int num_levels() const {
@@ -38,13 +39,18 @@ class level_structure {
     return uint64_t{1} << (level + 1);
   }
 
+  /// Which Euler-tour representation backs every F_i.
+  [[nodiscard]] bdc::substrate ett_substrate_kind() const {
+    return substrate_;
+  }
+
   /// F_i; materializes it if needed.
-  euler_tour_forest& forest(int level);
+  ett_substrate& forest(int level);
   /// F_i if materialized, else nullptr (read paths).
-  [[nodiscard]] const euler_tour_forest* forest_if(int level) const {
+  [[nodiscard]] const ett_substrate* forest_if(int level) const {
     return levels_[static_cast<size_t>(level)].forest.get();
   }
-  [[nodiscard]] euler_tour_forest* forest_if(int level) {
+  [[nodiscard]] ett_substrate* forest_if(int level) {
     return levels_[static_cast<size_t>(level)].forest.get();
   }
 
@@ -110,7 +116,7 @@ class level_structure {
 
  private:
   struct level_state {
-    std::unique_ptr<euler_tour_forest> forest;
+    std::unique_ptr<ett_substrate> forest;
     std::unique_ptr<leveled_adjacency> adjacency;
   };
 
@@ -122,6 +128,7 @@ class level_structure {
 
   vertex_id n_;
   uint64_t seed_;
+  bdc::substrate substrate_;
   std::vector<level_state> levels_;
   edge_dict dict_;
 };

@@ -1,0 +1,50 @@
+// Compile-time contract for the ordered-sequence backend of
+// `euler_tour_forest` (the skip-list side of the substrate layer).
+//
+// The forest's tour algebra (batch_link re-stitching, batch_cut resolution
+// chains) is written against a circular sequence structure supporting batch
+// splits, level-synchronous batch joins, bottom-up augmentation repair,
+// whole-circle sums, canonical representatives, and the first-ℓ collection
+// primitive. `ett_sequence` names that contract as a C++20 concept so an
+// alternative sequence (e.g. a batch-parallel skip list variant with biased
+// heights, or an instrumented shim) can be dropped under the forest and
+// verified at compile time; `augmented_skiplist` is the production model.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace bdc {
+
+template <typename S, typename Aug>
+concept ett_sequence = requires(
+    S s, const S cs, typename S::node* n, const Aug& a, uint64_t want,
+    std::span<typename S::node* const> cuts,
+    std::span<const std::pair<typename S::node*, typename S::node*>> joins,
+    std::vector<typename S::node*> dirty,
+    std::vector<std::pair<typename S::node*, uint64_t>> out) {
+  // Node lifecycle: singleton circles in, recycled storage out.
+  { s.create_node(uint64_t{}, a) } -> std::same_as<typename S::node*>;
+  s.free_node(n);
+  // Batch mutation: sever boundaries, relink circles, repair sums.
+  s.batch_split_after(cuts);
+  s.batch_join(joins);
+  s.batch_repair(std::move(dirty));
+  // Augmentation access.
+  s.set_value(n, a);
+  { cs.value(n) } -> std::convertible_to<const Aug&>;
+  { cs.total(n) } -> std::same_as<Aug>;
+  // Canonical per-circle representative and tour enumeration.
+  { cs.representative(n) } -> std::same_as<typename S::node*>;
+  { cs.circle_of(n) } -> std::same_as<std::vector<typename S::node*>>;
+  // First-ℓ fetch (Appendix 9): collect bottom nodes covering a prefix of
+  // an extracted augmented quantity.
+  {
+    cs.collect_first(n, want, [](const Aug&) { return uint64_t{0}; }, out)
+  } -> std::same_as<uint64_t>;
+};
+
+}  // namespace bdc

@@ -1,0 +1,35 @@
+#include "ett/ett_substrate.hpp"
+
+#include "ett/euler_tour_tree.hpp"
+#include "ett/treap_ett.hpp"
+
+namespace bdc {
+
+const char* to_string(substrate s) {
+  switch (s) {
+    case substrate::skiplist:
+      return "skiplist";
+    case substrate::treap:
+      return "treap";
+  }
+  return "unknown";
+}
+
+std::optional<substrate> substrate_from_string(std::string_view name) {
+  if (name == "skiplist") return substrate::skiplist;
+  if (name == "treap") return substrate::treap;
+  return std::nullopt;
+}
+
+std::unique_ptr<ett_substrate> make_ett(substrate s, vertex_id n,
+                                        uint64_t seed) {
+  switch (s) {
+    case substrate::treap:
+      return std::make_unique<treap_ett>(n, seed);
+    case substrate::skiplist:
+      break;
+  }
+  return std::make_unique<euler_tour_forest>(n, seed);
+}
+
+}  // namespace bdc

@@ -1,0 +1,131 @@
+// The substrate boundary of the Euler-tour layer.
+//
+// The paper's HDT hierarchy (§2.2, §3) is agnostic to how each level's
+// Euler tours are represented; only a small forest-level contract matters:
+// batch link/cut of tree edges, per-vertex counter maintenance with
+// component-wide sums, representative and connectivity queries, and the
+// first-ℓ fetch primitives of Appendix 9. `ett_substrate` captures exactly
+// that contract as a thin virtual bridge so the level structure and
+// `batch_dynamic_connectivity` can select the tour representation at
+// runtime (options::substrate), and so substrates can be benchmarked
+// head-to-head on identical workloads (bench_substrates).
+//
+// Two substrates are provided:
+//   * substrate::skiplist — `euler_tour_forest`, batch-parallel tours over
+//     the phase-concurrent augmented skip list (Tseng et al. [62]); the
+//     paper's own representation and the default.
+//   * substrate::treap   — `treap_ett`, tours over sequence treaps
+//     (Henzinger–King style); sequential mutation phases with parallel
+//     read-only query phases.
+//
+// Phase contract (both substrates): a batch mutation call is one exclusive
+// phase; read-only queries (connected / find_rep / counts / fetch) may run
+// concurrently with each other but never with a mutation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ett/ett_counts.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// Which Euler-tour representation backs a forest. Selected per structure
+/// at construction (options::substrate).
+enum class substrate : uint8_t {
+  skiplist,  // batch-parallel augmented skip list (paper default)
+  treap,     // sequence treaps (HDT-style)
+};
+
+[[nodiscard]] const char* to_string(substrate s);
+[[nodiscard]] std::optional<substrate> substrate_from_string(
+    std::string_view name);
+
+class ett_substrate {
+ public:
+  /// Opaque component representative: rep(u) == rep(v) iff u and v are in
+  /// the same tree. Invalidated by any subsequent batch_link/batch_cut.
+  using rep = const void*;
+
+  /// Adds (tree_delta, nontree_delta) to a vertex's incident-edge counters.
+  struct count_delta {
+    vertex_id v;
+    int32_t tree_delta;
+    int32_t nontree_delta;
+  };
+
+  virtual ~ett_substrate() = default;
+
+  [[nodiscard]] virtual size_t num_vertices() const = 0;
+  [[nodiscard]] virtual size_t num_edges() const = 0;
+
+  // ------------------------------------------------------------------
+  // Updates (each call is one exclusive mutation phase)
+  // ------------------------------------------------------------------
+
+  /// Adds `links` to the forest. Preconditions: no self loops, edges
+  /// distinct (as undirected pairs), not already present, and the batch
+  /// keeps the graph acyclic (the caller runs a spanning-forest pass
+  /// first; Algorithms 2, 4, 5 all guarantee this).
+  virtual void batch_link(std::span<const edge> links) = 0;
+  void link(edge e) { batch_link({&e, 1}); }
+
+  /// Removes `cuts`, which must all be present tree edges (distinct).
+  virtual void batch_cut(std::span<const edge> cuts) = 0;
+  void cut(edge e) { batch_cut({&e, 1}); }
+
+  /// Applies counter deltas (one entry per vertex at most) and repairs the
+  /// component-wide augmentation.
+  virtual void batch_add_counts(std::span<const count_delta> deltas) = 0;
+
+  // ------------------------------------------------------------------
+  // Queries (read-only phases)
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] virtual bool has_edge(edge e) const = 0;
+  [[nodiscard]] virtual bool connected(vertex_id u, vertex_id v) const = 0;
+  [[nodiscard]] virtual std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> queries) const = 0;
+
+  [[nodiscard]] virtual rep find_rep(vertex_id v) const = 0;
+  [[nodiscard]] virtual std::vector<rep> batch_find_rep(
+      std::span<const vertex_id> vs) const = 0;
+
+  /// Component-wide augmented sums for v's tree.
+  [[nodiscard]] virtual ett_counts component_counts(vertex_id v) const = 0;
+  [[nodiscard]] uint32_t component_size(vertex_id v) const {
+    return component_counts(v).vertices;
+  }
+  /// The per-vertex stored counters (not component sums). For validation.
+  [[nodiscard]] virtual ett_counts vertex_counts(vertex_id v) const = 0;
+
+  /// Fetches, in tour order, vertices covering the first `want` incident
+  /// non-tree (resp. tree) edge slots of v's component. Each result entry
+  /// (x, c) means "take c edges from x's level-i non-tree (tree) adjacency
+  /// list". Sum of takes == min(want, component total). (Appendix 9.)
+  [[nodiscard]] virtual std::vector<std::pair<vertex_id, uint32_t>>
+  fetch_nontree(vertex_id v, uint64_t want) const = 0;
+  [[nodiscard]] virtual std::vector<std::pair<vertex_id, uint32_t>>
+  fetch_tree(vertex_id v, uint64_t want) const = 0;
+
+  /// All vertices of v's component, in tour order (diagnostics / tests).
+  [[nodiscard]] virtual std::vector<vertex_id> component_vertices(
+      vertex_id v) const = 0;
+
+  /// Deep structural validation (tests). Empty string if healthy.
+  [[nodiscard]] virtual std::string check_consistency() const = 0;
+};
+
+/// Constructs an empty n-vertex forest over the chosen substrate.
+[[nodiscard]] std::unique_ptr<ett_substrate> make_ett(substrate s,
+                                                      vertex_id n,
+                                                      uint64_t seed);
+
+}  // namespace bdc

@@ -56,14 +56,6 @@ euler_tour_forest::euler_tour_forest(vertex_id n, uint64_t seed)
   });
 }
 
-euler_tour_forest::~euler_tour_forest() {
-  for (node* vn : vertex_nodes_) skiplist::free_node(vn);
-  edge_map_.for_each([](uint64_t, edge_nodes& en) {
-    skiplist::free_node(en.fwd);
-    skiplist::free_node(en.rev);
-  });
-}
-
 void euler_tour_forest::batch_link(std::span<const edge> links) {
   size_t k = links.size();
   if (k == 0) return;
@@ -209,8 +201,8 @@ void euler_tour_forest::batch_cut(std::span<const edge> cuts) {
   });
   edge_map_.erase_batch(keys);
   parallel_for(0, k, [&](size_t i) {
-    skiplist::free_node(en[i].fwd);
-    skiplist::free_node(en[i].rev);
+    list_.free_node(en[i].fwd);
+    list_.free_node(en[i].rev);
   });
 }
 
@@ -250,13 +242,13 @@ std::vector<bool> euler_tour_forest::batch_connected(
   return std::vector<bool>(bits.begin(), bits.end());
 }
 
-euler_tour_forest::node* euler_tour_forest::find_rep(vertex_id v) const {
+ett_substrate::rep euler_tour_forest::find_rep(vertex_id v) const {
   return list_.representative(vertex_nodes_[v]);
 }
 
-std::vector<euler_tour_forest::node*> euler_tour_forest::batch_find_rep(
+std::vector<ett_substrate::rep> euler_tour_forest::batch_find_rep(
     std::span<const vertex_id> vs) const {
-  std::vector<node*> out(vs.size());
+  std::vector<rep> out(vs.size());
   parallel_for(0, vs.size(), [&](size_t i) { out[i] = find_rep(vs[i]); });
   return out;
 }
@@ -378,12 +370,14 @@ std::string euler_tour_forest::check_consistency() const {
     }
   }
   // Every arc node registered in the edge map must have been visited.
-  std::string err;
-  edge_map_.for_each([&](uint64_t, const edge_nodes& enx) {
+  // Sequential walk: for_each fans out across workers, which would race
+  // on the error string.
+  for (auto& [key, enx] : edge_map_.entries()) {
+    (void)key;
     if (!seen.count(enx.fwd) || !seen.count(enx.rev))
-      err = "edge-map node not reachable from any vertex";
-  });
-  return err;
+      return "edge-map node not reachable from any vertex";
+  }
+  return "";
 }
 
 }  // namespace bdc

@@ -1,4 +1,5 @@
-// Batch-parallel Euler tour trees (paper §2.1; Tseng et al. [62]).
+// Batch-parallel Euler tour trees (paper §2.1; Tseng et al. [62]) — the
+// skip-list substrate (substrate::skiplist).
 //
 // Represents a forest over vertices [0, n) as a set of circular Euler-tour
 // sequences stored in an augmented skip list. A tree's tour visits one node
@@ -20,93 +21,71 @@
 #include <vector>
 
 #include "ett/ett_counts.hpp"
+#include "ett/ett_sequence.hpp"
+#include "ett/ett_substrate.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "skiplist/augmented_skiplist.hpp"
 #include "util/types.hpp"
 
 namespace bdc {
 
-class euler_tour_forest {
+class euler_tour_forest final : public ett_substrate {
  public:
   using skiplist = augmented_skiplist<ett_counts>;
   using node = skiplist::node;
+  static_assert(ett_sequence<skiplist, ett_counts>,
+                "the sequence backend must satisfy the ett_sequence concept");
 
   /// An empty forest (no edges) over n vertices.
   explicit euler_tour_forest(vertex_id n, uint64_t seed = 0xe77e77);
-  ~euler_tour_forest();
+  ~euler_tour_forest() override = default;  // node storage is pool-owned
 
   euler_tour_forest(const euler_tour_forest&) = delete;
   euler_tour_forest& operator=(const euler_tour_forest&) = delete;
 
-  [[nodiscard]] size_t num_vertices() const { return vertex_nodes_.size(); }
-  [[nodiscard]] size_t num_edges() const { return edge_map_.size(); }
+  [[nodiscard]] size_t num_vertices() const override {
+    return vertex_nodes_.size();
+  }
+  [[nodiscard]] size_t num_edges() const override { return edge_map_.size(); }
 
   // ------------------------------------------------------------------
   // Updates (each call is one mutation phase)
   // ------------------------------------------------------------------
 
-  /// Adds `links` to the forest. Preconditions: no self loops, edges
-  /// distinct (as undirected pairs), not already present, and the batch
-  /// keeps the graph acyclic (the caller runs a spanning-forest pass first;
-  /// Algorithms 2, 4, 5 all guarantee this).
-  void batch_link(std::span<const edge> links);
-  void link(edge e) { batch_link({&e, 1}); }
-
-  /// Removes `cuts`, which must all be present tree edges (distinct).
-  void batch_cut(std::span<const edge> cuts);
-  void cut(edge e) { batch_cut({&e, 1}); }
-
-  /// Adds (tree_delta, nontree_delta) to the per-vertex incident-edge
-  /// counters and repairs the augmentation. One entry per vertex at most.
-  struct count_delta {
-    vertex_id v;
-    int32_t tree_delta;
-    int32_t nontree_delta;
-  };
-  void batch_add_counts(std::span<const count_delta> deltas);
+  void batch_link(std::span<const edge> links) override;
+  void batch_cut(std::span<const edge> cuts) override;
+  void batch_add_counts(std::span<const count_delta> deltas) override;
 
   // ------------------------------------------------------------------
   // Queries (read-only phases)
   // ------------------------------------------------------------------
 
-  [[nodiscard]] bool has_edge(edge e) const {
+  [[nodiscard]] bool has_edge(edge e) const override {
     return edge_map_.contains(edge_key(e.canonical()));
   }
-  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const override;
   [[nodiscard]] std::vector<bool> batch_connected(
-      std::span<const std::pair<vertex_id, vertex_id>> queries) const;
+      std::span<const std::pair<vertex_id, vertex_id>> queries)
+      const override;
 
-  /// Representative handle: rep(u) == rep(v) iff u, v in the same tree.
-  /// Invalidated by any subsequent link/cut (paper §2.1).
-  [[nodiscard]] node* find_rep(vertex_id v) const;
-  [[nodiscard]] std::vector<node*> batch_find_rep(
-      std::span<const vertex_id> vs) const;
+  [[nodiscard]] rep find_rep(vertex_id v) const override;
+  [[nodiscard]] std::vector<rep> batch_find_rep(
+      std::span<const vertex_id> vs) const override;
 
-  /// Component-wide augmented sums for v's tree.
-  [[nodiscard]] ett_counts component_counts(vertex_id v) const;
-  [[nodiscard]] uint32_t component_size(vertex_id v) const {
-    return component_counts(v).vertices;
-  }
+  [[nodiscard]] ett_counts component_counts(vertex_id v) const override;
+  [[nodiscard]] ett_counts vertex_counts(vertex_id v) const override;
 
-  /// The per-vertex stored counters (not component sums). For validation.
-  [[nodiscard]] ett_counts vertex_counts(vertex_id v) const;
-
-  /// Fetches, in tour order, vertices covering the first `want` incident
-  /// non-tree (resp. tree) edge slots of v's component. Each result entry
-  /// (x, c) means "take c edges from x's level-i non-tree (tree) adjacency
-  /// list". Sum of takes == min(want, component total). (Appendix 9.)
   [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_nontree(
-      vertex_id v, uint64_t want) const;
+      vertex_id v, uint64_t want) const override;
   [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_tree(
-      vertex_id v, uint64_t want) const;
+      vertex_id v, uint64_t want) const override;
 
-  /// All vertices of v's component, in tour order (diagnostics / tests;
-  /// O(component) work).
-  [[nodiscard]] std::vector<vertex_id> component_vertices(vertex_id v) const;
+  [[nodiscard]] std::vector<vertex_id> component_vertices(
+      vertex_id v) const override;
 
   /// Verifies internal consistency (tests): tour circularity, augmentation
   /// sums, edge-map agreement. Returns empty string if healthy.
-  [[nodiscard]] std::string check_consistency() const;
+  [[nodiscard]] std::string check_consistency() const override;
 
  private:
   struct edge_nodes {

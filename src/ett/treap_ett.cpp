@@ -1,6 +1,11 @@
-#include "hdt/treap_ett.hpp"
+#include "ett/treap_ett.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
 
 namespace bdc {
 
@@ -10,8 +15,8 @@ struct treap_ett::node {
   node* right = nullptr;
   uint64_t priority = 0;
   uint64_t tag = 0;  // vertex sentinel: vertex id; arc: arc key | kArcBit
-  counts own;        // nonzero only on sentinels
-  counts agg;        // subtree sum (own + children)
+  ett_counts own;    // nonzero only on sentinels
+  ett_counts agg;    // subtree sum (own + children)
   uint32_t subtree_nodes = 1;
 };
 
@@ -21,10 +26,13 @@ uint64_t arc_key(vertex_id t, vertex_id h) {
   return kArcBit | (static_cast<uint64_t>(t) << 31) |
          static_cast<uint64_t>(h);
 }
+uint64_t slot_count(const ett_counts& c, bool nontree) {
+  return nontree ? c.nontree_edges : c.tree_edges;
+}
 }  // namespace
 
 treap_ett::treap_ett(vertex_id n, uint64_t seed)
-    : rng_(seed), sentinel_(n) {
+    : rng_(seed), sentinel_(n), arcs_(64) {
   for (vertex_id v = 0; v < n; ++v) {
     sentinel_[v] = make_node(static_cast<uint64_t>(v));
     sentinel_[v]->own.vertices = 1;
@@ -32,19 +40,17 @@ treap_ett::treap_ett(vertex_id n, uint64_t seed)
   }
 }
 
-treap_ett::~treap_ett() {
-  for (node* s : sentinel_) delete s;
-  for (auto& [k, pr] : arcs_) {
-    delete pr.first;
-    delete pr.second;
-  }
-}
-
 treap_ett::node* treap_ett::make_node(uint64_t tag) {
-  node* x = new node;
+  static_assert(sizeof(node) <= node_pool::kMaxBytes);
+  node* x = new (pool_.allocate(sizeof(node))) node;
   x->tag = tag;
   x->priority = rng_.ith_rand(counter_++);
   return x;
+}
+
+void treap_ett::free_node(node* x) {
+  static_assert(std::is_trivially_destructible_v<node>);
+  pool_.deallocate(static_cast<void*>(x), sizeof(node));
 }
 
 void treap_ett::update(node* x) {
@@ -52,9 +58,7 @@ void treap_ett::update(node* x) {
   x->subtree_nodes = 1;
   for (node* c : {x->left, x->right}) {
     if (c == nullptr) continue;
-    x->agg.vertices += c->agg.vertices;
-    x->agg.tree_edges += c->agg.tree_edges;
-    x->agg.nontree_edges += c->agg.nontree_edges;
+    x->agg = x->agg + c->agg;
     x->subtree_nodes += c->subtree_nodes;
   }
 }
@@ -173,16 +177,18 @@ void treap_ett::link(vertex_id u, vertex_id v) {
   node* vu = make_node(arc_key(v, u));
   update(uv);
   update(vu);
-  arcs_.emplace(edge_key(edge{u, v}.canonical()), std::make_pair(uv, vu));
+  arcs_.reserve_for(1);
+  arcs_.insert(edge_key(edge{u, v}.canonical()), {uv, vu});
   merge(merge(tu, uv), merge(tv, vu));
 }
 
 void treap_ett::cut(vertex_id u, vertex_id v) {
-  auto it = arcs_.find(edge_key(edge{u, v}.canonical()));
-  assert(it != arcs_.end());
-  node* a = it->second.first;
-  node* b = it->second.second;
-  arcs_.erase(it);
+  uint64_t key = edge_key(edge{u, v}.canonical());
+  const arc_nodes* an = arcs_.find(key);
+  assert(an != nullptr && "cut: edge not in forest");
+  node* a = an->fwd;
+  node* b = an->rev;
+  arcs_.erase(key);
   if (rank_of(a) > rank_of(b)) std::swap(a, b);
   // Tour = L a M b R  ->  trees (L R) and (M).
   auto [la, xa] = split_before(a);        // la = L, xa = a M b R
@@ -195,27 +201,59 @@ void treap_ett::cut(vertex_id u, vertex_id v) {
   assert(aa == a && bb == b);
   merge(la, r);
   (void)m;
-  delete a;
-  delete b;
+  free_node(a);
+  free_node(b);
+}
+
+// ---------------------------------------------------------------------
+// Batch surface. Mutations run sequentially (the batch preconditions make
+// any order valid); read-only batches fan out across workers.
+// ---------------------------------------------------------------------
+
+void treap_ett::batch_link(std::span<const edge> links) {
+  arcs_.reserve_for(links.size());
+  for (const edge& e : links) link(e.u, e.v);
+}
+
+void treap_ett::batch_cut(std::span<const edge> cuts) {
+  for (const edge& e : cuts) cut(e.u, e.v);
+}
+
+void treap_ett::batch_add_counts(std::span<const count_delta> deltas) {
+  for (const count_delta& d : deltas)
+    add_counts(d.v, d.tree_delta, d.nontree_delta);
 }
 
 bool treap_ett::connected(vertex_id u, vertex_id v) const {
   return root_of(sentinel_[u]) == root_of(sentinel_[v]);
 }
 
-bool treap_ett::has_edge(vertex_id u, vertex_id v) const {
-  return arcs_.count(edge_key(edge{u, v}.canonical())) != 0;
+std::vector<bool> treap_ett::batch_connected(
+    std::span<const std::pair<vertex_id, vertex_id>> queries) const {
+  // Byte staging as in the skip-list forest: std::vector<bool> packs bits.
+  std::vector<uint8_t> bits(queries.size());
+  parallel_for(0, queries.size(), [&](size_t i) {
+    bits[i] = connected(queries[i].first, queries[i].second) ? 1 : 0;
+  });
+  return std::vector<bool>(bits.begin(), bits.end());
 }
 
-uint32_t treap_ett::component_size(vertex_id v) const {
-  return root_of(sentinel_[v])->agg.vertices;
+ett_substrate::rep treap_ett::find_rep(vertex_id v) const {
+  return root_of(sentinel_[v]);
 }
 
-treap_ett::counts treap_ett::component_counts(vertex_id v) const {
+std::vector<ett_substrate::rep> treap_ett::batch_find_rep(
+    std::span<const vertex_id> vs) const {
+  std::vector<rep> out(vs.size());
+  parallel_for(0, vs.size(), [&](size_t i) { out[i] = find_rep(vs[i]); });
+  return out;
+}
+
+ett_counts treap_ett::component_counts(vertex_id v) const {
   return root_of(sentinel_[v])->agg;
 }
 
-treap_ett::counts treap_ett::vertex_counts(vertex_id v) const {
+ett_counts treap_ett::vertex_counts(vertex_id v) const {
   return sentinel_[v]->own;
 }
 
@@ -231,11 +269,6 @@ void treap_ett::add_counts(vertex_id v, int32_t tree_delta,
       static_cast<uint32_t>(static_cast<int64_t>(s->own.nontree_edges) +
                             nontree_delta);
   for (node* x = s; x != nullptr; x = x->parent) update(x);
-}
-
-namespace {
-template <typename Get>
-treap_ett::node* descend(treap_ett::node* x, const Get& get);
 }
 
 vertex_id treap_ett::find_tree_slot(vertex_id v) const {
@@ -268,6 +301,45 @@ vertex_id treap_ett::find_nontree_slot(vertex_id v) const {
   }
 }
 
+std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_counted(
+    vertex_id v, uint64_t want, bool nontree) const {
+  std::vector<std::pair<vertex_id, uint32_t>> out;
+  if (want == 0) return out;
+  // In-order (= tour-order) descent pruned by the subtree aggregates, so
+  // the walk touches O(result * lg n) nodes, matching the skip-list
+  // substrate's collect_first contract.
+  std::vector<std::pair<node*, bool>> stack{{root_of(sentinel_[v]), false}};
+  uint64_t left = want;
+  while (!stack.empty() && left > 0) {
+    auto [x, expanded] = stack.back();
+    stack.pop_back();
+    if (x == nullptr) continue;
+    if (!expanded) {
+      if (slot_count(x->agg, nontree) == 0) continue;  // prune
+      stack.push_back({x->right, false});
+      stack.push_back({x, true});
+      stack.push_back({x->left, false});
+    } else if (uint64_t own = slot_count(x->own, nontree); own > 0) {
+      assert((x->tag & kArcBit) == 0);  // only sentinels carry counts
+      uint64_t take = std::min(own, left);
+      out.emplace_back(static_cast<vertex_id>(x->tag),
+                       static_cast<uint32_t>(take));
+      left -= take;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_nontree(
+    vertex_id v, uint64_t want) const {
+  return fetch_counted(v, want, /*nontree=*/true);
+}
+
+std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_tree(
+    vertex_id v, uint64_t want) const {
+  return fetch_counted(v, want, /*nontree=*/false);
+}
+
 std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
   std::vector<vertex_id> out;
   // Iterative in-order walk from the root.
@@ -296,32 +368,36 @@ std::string treap_ett::check_consistency() const {
     seen_root[root] = true;
     // Recursive structural check.
     std::vector<node*> stack{root};
-    counts total{};
+    ett_counts total{};
     uint32_t nodes = 0;
     while (!stack.empty()) {
       node* x = stack.back();
       stack.pop_back();
       ++nodes;
-      counts agg = x->own;
+      ett_counts agg = x->own;
       for (node* c : {x->left, x->right}) {
         if (c == nullptr) continue;
         if (c->parent != x) return "parent pointer mismatch";
         if (c->priority > x->priority) return "heap order violated";
-        agg.vertices += c->agg.vertices;
-        agg.tree_edges += c->agg.tree_edges;
-        agg.nontree_edges += c->agg.nontree_edges;
+        agg = agg + c->agg;
         stack.push_back(c);
       }
-      if (agg.vertices != x->agg.vertices ||
-          agg.tree_edges != x->agg.tree_edges ||
-          agg.nontree_edges != x->agg.nontree_edges)
-        return "aggregate mismatch";
+      if (!(agg == x->agg)) return "aggregate mismatch";
       total = x == root ? x->agg : total;
     }
     if (nodes != root->subtree_nodes) return "subtree count mismatch";
     // Tour shape: k vertices, 2(k-1) arcs.
     if (root->subtree_nodes != 3 * total.vertices - 2)
       return "tour length mismatch";
+  }
+  // Every arc pair registered in the map must hang under some sentinel's
+  // root (i.e. was visited above). Sequential walk: for_each fans out
+  // across workers, which would race on the error string.
+  for (auto& [key, an] : arcs_.entries()) {
+    (void)key;
+    if (!seen_root.count(root_of(an.fwd)) ||
+        !seen_root.count(root_of(an.rev)))
+      return "arc-map node not reachable from any sentinel";
   }
   return "";
 }

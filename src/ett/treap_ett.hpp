@@ -1,0 +1,143 @@
+// Euler tour trees over sequence treaps — the treap substrate
+// (substrate::treap; paper §2.2; Henzinger-King [27], Miltersen et al.
+// [41]).
+//
+// Each tree's Euler tour is a treap sequence over arc nodes (u,v)/(v,u)
+// plus one sentinel node (v,v) per vertex; link/cut are O(lg n) expected
+// via split/join, and the treap is augmented with subtree counts of
+// vertices and of per-level incident tree/non-tree edge slots (on the
+// sentinel nodes) to support the HDT searches.
+//
+// As an `ett_substrate`, mutation batches (batch_link / batch_cut /
+// batch_add_counts) run as sequential loops over the treap primitives —
+// the batch preconditions (acyclic link batches, present distinct cuts)
+// make any sequential order valid — while the read-only batch queries
+// (batch_connected, batch_find_rep) fan out across scheduler workers,
+// since concurrent root walks on an unchanging treap are safe. It shares
+// no code with the skip-list forest, so the two substrates cross-validate
+// each other in the parameterized test suites; the sequential HDT baseline
+// (`hdt_connectivity`) additionally drives the per-edge primitives
+// (link/cut/add_counts/find_*_slot) directly.
+//
+// Node storage comes from the shared per-worker pool (util/node_pool.hpp):
+// cut arcs are recycled by later links, and teardown drops whole blocks
+// instead of deleting node by node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ett/ett_substrate.hpp"
+#include "hashtable/phase_concurrent_map.hpp"
+#include "util/node_pool.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+class treap_ett final : public ett_substrate {
+ public:
+  using counts = ett_counts;
+
+  explicit treap_ett(vertex_id n, uint64_t seed = 0x7e47);
+  ~treap_ett() override = default;  // node storage is pool-owned
+
+  treap_ett(const treap_ett&) = delete;
+  treap_ett& operator=(const treap_ett&) = delete;
+
+  [[nodiscard]] size_t num_vertices() const override {
+    return sentinel_.size();
+  }
+  [[nodiscard]] size_t num_edges() const override { return arcs_.size(); }
+
+  // ------------------------------------------------------------------
+  // Sequential per-edge primitives (the HDT baseline drives these)
+  // ------------------------------------------------------------------
+
+  /// Links u and v (must be in different trees).
+  void link(vertex_id u, vertex_id v);
+  /// Cuts the tree edge (u, v) (must be present).
+  void cut(vertex_id u, vertex_id v);
+  using ett_substrate::cut;
+  using ett_substrate::link;
+
+  [[nodiscard]] bool has_edge(vertex_id u, vertex_id v) const {
+    return arcs_.contains(edge_key(edge{u, v}.canonical()));
+  }
+  /// Adjusts v's per-vertex counters along the root path.
+  void add_counts(vertex_id v, int32_t tree_delta, int32_t nontree_delta);
+
+  /// Some vertex in v's tree with a nonzero tree (resp. non-tree) counter,
+  /// or kNoVertex. O(lg n) expected via augmented descent.
+  [[nodiscard]] vertex_id find_tree_slot(vertex_id v) const;
+  [[nodiscard]] vertex_id find_nontree_slot(vertex_id v) const;
+
+  // ------------------------------------------------------------------
+  // ett_substrate surface
+  // ------------------------------------------------------------------
+
+  void batch_link(std::span<const edge> links) override;
+  void batch_cut(std::span<const edge> cuts) override;
+  void batch_add_counts(std::span<const count_delta> deltas) override;
+
+  [[nodiscard]] bool has_edge(edge e) const override {
+    return has_edge(e.u, e.v);
+  }
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const override;
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> queries)
+      const override;
+
+  [[nodiscard]] rep find_rep(vertex_id v) const override;
+  [[nodiscard]] std::vector<rep> batch_find_rep(
+      std::span<const vertex_id> vs) const override;
+
+  [[nodiscard]] ett_counts component_counts(vertex_id v) const override;
+  [[nodiscard]] ett_counts vertex_counts(vertex_id v) const override;
+
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_nontree(
+      vertex_id v, uint64_t want) const override;
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_tree(
+      vertex_id v, uint64_t want) const override;
+
+  [[nodiscard]] std::vector<vertex_id> component_vertices(
+      vertex_id v) const override;
+
+  /// Structural validation (tests): parent/child coherence, heap order,
+  /// aggregate sums, tour well-formedness. Empty string if healthy.
+  [[nodiscard]] std::string check_consistency() const override;
+
+ private:
+  struct node;
+  struct arc_nodes {
+    node* fwd = nullptr;
+    node* rev = nullptr;
+  };
+
+  node* make_node(uint64_t tag);
+  void free_node(node* x);
+  static void update(node* x);
+  [[nodiscard]] static node* root_of(node* x);
+  /// Merges two treap sequences (all of a before all of b).
+  static node* merge(node* a, node* b);
+  /// Splits so that x begins the right part. Returns {left, right}.
+  static std::pair<node*, node*> split_before(node* x);
+  /// Splits so that x ends the left part. Returns {left, right}.
+  static std::pair<node*, node*> split_after(node* x);
+  /// In-order rank of x within its treap (for arc ordering in cut).
+  [[nodiscard]] static size_t rank_of(node* x);
+  /// Rotates v's tour so it starts at v's sentinel.
+  node* reroot(vertex_id v);
+
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_counted(
+      vertex_id v, uint64_t want, bool nontree) const;
+
+  random rng_;
+  uint64_t counter_ = 0;
+  std::vector<node*> sentinel_;          // (v,v) node per vertex
+  phase_concurrent_map<arc_nodes> arcs_; // per canonical edge
+  node_pool pool_;
+};
+
+}  // namespace bdc

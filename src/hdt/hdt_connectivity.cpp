@@ -15,7 +15,7 @@
 namespace bdc {
 
 hdt_connectivity::hdt_connectivity(vertex_id n, uint64_t seed)
-    : n_(n), seed_(seed) {
+    : n_(n), seed_(seed), records_(64) {
   int levels = std::max(1, static_cast<int>(log2_ceil(std::max<uint64_t>(
                                2, static_cast<uint64_t>(n)))));
   levels_.resize(static_cast<size_t>(levels));
@@ -33,7 +33,8 @@ treap_ett& hdt_connectivity::forest(int level) {
 
 void hdt_connectivity::add_adj(int level, edge c, bool is_tree) {
   auto& la = levels_[static_cast<size_t>(level)].adjacency;
-  record& rec = records_.at(edge_key(c));
+  if (la.lists.empty()) la.lists.resize(n_);
+  record& rec = *records_.find(edge_key(c));
   auto append = [&](vertex_id w, int side) {
     auto& list = la.lists[w][is_tree ? 0 : 1];
     rec.pos[side] = static_cast<uint32_t>(list.size());
@@ -47,17 +48,17 @@ void hdt_connectivity::add_adj(int level, edge c, bool is_tree) {
 
 void hdt_connectivity::remove_adj(int level, edge c) {
   auto& la = levels_[static_cast<size_t>(level)].adjacency;
-  record& rec = records_.at(edge_key(c));
+  record& rec = *records_.find(edge_key(c));
   bool is_tree = rec.is_tree != 0;
   auto detach = [&](vertex_id w, int side) {
-    auto& list = la.lists.at(w)[is_tree ? 0 : 1];
+    auto& list = la.lists[w][is_tree ? 0 : 1];
     uint32_t slot = rec.pos[side];
     assert(slot < list.size() && list[slot] == c);
     edge moved = list.back();
     list[slot] = moved;
     list.pop_back();
     if (moved != c) {
-      record& mrec = records_.at(edge_key(moved));
+      record& mrec = *records_.find(edge_key(moved));
       mrec.pos[moved.v == w ? 1 : 0] = slot;
     }
   };
@@ -69,33 +70,34 @@ void hdt_connectivity::remove_adj(int level, edge c) {
 
 edge hdt_connectivity::first_adj(int level, vertex_id w, bool is_tree) const {
   const auto& la = levels_[static_cast<size_t>(level)].adjacency;
-  const auto& list = la.lists.at(w)[is_tree ? 0 : 1];
+  const auto& list = la.lists[w][is_tree ? 0 : 1];
   assert(!list.empty());
   return list.front();
 }
 
 void hdt_connectivity::insert(edge e) {
   edge c = e.canonical();
-  if (c.is_self_loop() || records_.count(edge_key(c))) return;
+  if (c.is_self_loop() || records_.contains(edge_key(c))) return;
   stats_.edges_inserted++;
   int t = top();
   bool is_tree = !forest(t).connected(c.u, c.v);
-  records_[edge_key(c)] = {static_cast<int16_t>(t),
-                           static_cast<uint8_t>(is_tree ? 1 : 0),
-                           {0, 0}};
+  records_.reserve_for(1);
+  records_.insert(edge_key(c), {static_cast<int16_t>(t),
+                                static_cast<uint8_t>(is_tree ? 1 : 0),
+                                {0, 0}});
   if (is_tree) forest(t).link(c.u, c.v);
   add_adj(t, c, is_tree);
 }
 
 void hdt_connectivity::erase(edge e) {
   edge c = e.canonical();
-  auto it = records_.find(edge_key(c));
-  if (it == records_.end()) return;
+  const record* rec = records_.find(edge_key(c));
+  if (rec == nullptr) return;
   stats_.edges_deleted++;
-  int level = it->second.level;
-  bool was_tree = it->second.is_tree != 0;
+  int level = rec->level;
+  bool was_tree = rec->is_tree != 0;
   remove_adj(level, c);
-  records_.erase(it);
+  records_.erase(edge_key(c));
   if (!was_tree) return;
   stats_.tree_edges_deleted++;
   for (int i = level; i <= top(); ++i) forest(i).cut(c.u, c.v);
@@ -115,7 +117,7 @@ void hdt_connectivity::replace(int level, vertex_id u, vertex_id v) {
         if (w == kNoVertex) break;
         edge te = first_adj(i, w, /*is_tree=*/true);
         remove_adj(i, te);
-        records_.at(edge_key(te)).level = static_cast<int16_t>(i - 1);
+        records_.find(edge_key(te))->level = static_cast<int16_t>(i - 1);
         add_adj(i - 1, te, /*is_tree=*/true);
         forest(i - 1).link(te.u, te.v);
         stats_.edges_pushed++;
@@ -130,8 +132,7 @@ void hdt_connectivity::replace(int level, vertex_id u, vertex_id v) {
         // Replacement found: promote to a tree edge at level i and relink
         // every forest from i to the top.
         remove_adj(i, ne);
-        record& rec = records_.at(edge_key(ne));
-        rec.is_tree = 1;
+        records_.find(edge_key(ne))->is_tree = 1;
         add_adj(i, ne, /*is_tree=*/true);
         for (int j = i; j <= top(); ++j) forest(j).link(ne.u, ne.v);
         stats_.replacements_promoted++;
@@ -142,7 +143,7 @@ void hdt_connectivity::replace(int level, vertex_id u, vertex_id v) {
       assert(i > 0 && "level-0 non-tree edge cannot be internal to a "
                       "size-1 active side");
       remove_adj(i, ne);
-      records_.at(edge_key(ne)).level = static_cast<int16_t>(i - 1);
+      records_.find(edge_key(ne))->level = static_cast<int16_t>(i - 1);
       add_adj(i - 1, ne, /*is_tree=*/false);
       stats_.edges_pushed++;
     }
@@ -154,15 +155,12 @@ bool hdt_connectivity::connected(vertex_id u, vertex_id v) const {
 }
 
 bool hdt_connectivity::has_edge(edge e) const {
-  return records_.count(edge_key(e.canonical())) != 0;
+  return records_.contains(edge_key(e.canonical()));
 }
 
 std::vector<bool> hdt_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> qs) const {
-  std::vector<bool> out(qs.size());
-  for (size_t i = 0; i < qs.size(); ++i)
-    out[i] = connected(qs[i].first, qs[i].second);
-  return out;
+  return forest_if(top())->batch_connected(qs);
 }
 
 std::string hdt_connectivity::check_invariants() const {
@@ -180,10 +178,9 @@ std::string hdt_connectivity::check_invariants() const {
     const auto& la = levels_[static_cast<size_t>(i)].adjacency;
     for (vertex_id v = 0; v < n_; ++v) {
       uint32_t td = 0, nd = 0;
-      auto it = la.lists.find(v);
-      if (it != la.lists.end()) {
-        td = static_cast<uint32_t>(it->second[0].size());
-        nd = static_cast<uint32_t>(it->second[1].size());
+      if (v < la.lists.size()) {
+        td = static_cast<uint32_t>(la.lists[v][0].size());
+        nd = static_cast<uint32_t>(la.lists[v][1].size());
       }
       auto vc = f->vertex_counts(v);
       if (vc.tree_edges != td || vc.nontree_edges != nd)
@@ -191,7 +188,7 @@ std::string hdt_connectivity::check_invariants() const {
     }
   }
   // Edge placement and Invariant 2's cycle property.
-  for (auto& [key, rec] : records_) {
+  for (auto& [key, rec] : records_.entries()) {
     edge c = edge_from_key(key);
     for (int i = 0; i <= top(); ++i) {
       const treap_ett* f = forest_if(i);

@@ -2,8 +2,14 @@
 // (paper §2.2; [31]) — the baseline the parallel algorithm is measured
 // against. O(lg^2 n) amortized per edge update, O(lg n) per query.
 //
-// Implemented over the independent treap-based Euler tour trees so that it
-// can serve as a correctness oracle for the parallel structure in tests.
+// A thin client of the shared Euler-tour layer: each level's forest is the
+// treap substrate from src/ett/ (which also plugs into the parallel
+// structure via substrate::treap), edge records live in the library's
+// phase-concurrent dictionary, and adjacency lists are flat per-vertex
+// arrays — no private bookkeeping containers. Because the treap substrate
+// is shared with (and cross-validated against) the skip-list forest, this
+// baseline doubles as a correctness oracle for the parallel structure in
+// tests.
 #pragma once
 
 #include <array>
@@ -11,10 +17,10 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "hdt/treap_ett.hpp"
+#include "ett/treap_ett.hpp"
+#include "hashtable/phase_concurrent_map.hpp"
 #include "util/types.hpp"
 
 namespace bdc {
@@ -61,13 +67,14 @@ class hdt_connectivity {
 
  private:
   struct record {
-    int16_t level;
-    uint8_t is_tree;
-    uint32_t pos[2];  // slot in canonical u's / v's list at `level`
+    int16_t level = 0;
+    uint8_t is_tree = 0;
+    uint32_t pos[2] = {0, 0};  // slot in canonical u's / v's list at `level`
   };
   struct level_adj {
-    // vertex -> [tree list, nontree list] of canonical edges.
-    std::unordered_map<vertex_id, std::array<std::vector<edge>, 2>> lists;
+    // lists[v] = [tree list, nontree list] of canonical edges; sized to n
+    // on first touch.
+    std::vector<std::array<std::vector<edge>, 2>> lists;
   };
   struct level_state {
     std::unique_ptr<treap_ett> forest;
@@ -95,7 +102,7 @@ class hdt_connectivity {
   vertex_id n_;
   uint64_t seed_;
   std::vector<level_state> levels_;
-  std::unordered_map<uint64_t, record> records_;
+  phase_concurrent_map<record> records_;
   statistics stats_;
 };
 

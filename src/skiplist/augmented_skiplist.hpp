@@ -44,6 +44,7 @@
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
 #include "sequence/parallel_sort.hpp"
+#include "util/node_pool.hpp"
 #include "util/random.hpp"
 
 namespace bdc {
@@ -98,9 +99,11 @@ class augmented_skiplist {
     return n;
   }
 
-  /// Frees a node previously unlinked by a cut (or never linked). Caller
-  /// guarantees no other thread can still reach it.
-  static void free_node(node* n) { destroy(n); }
+  /// Returns a node previously unlinked by a cut (or never linked) to the
+  /// pool for recycling. Caller guarantees no other thread can still reach
+  /// it. Nodes never individually released are reclaimed wholesale when the
+  /// list (and its pool) is destroyed.
+  void free_node(node* n) { destroy(n); }
 
   // --------------------------------------------------------------------
   // Batch mutation
@@ -336,14 +339,20 @@ class augmented_skiplist {
     return got;
   }
 
-  static node* allocate(int h) {
+  /// Storage footprint of a height-h node (header + link arrays + sums).
+  static constexpr size_t node_bytes(int h) {
+    return sizeof(node) + static_cast<size_t>(h) *
+                              (2 * sizeof(std::atomic<node*>) + sizeof(Aug));
+  }
+
+  node* allocate(int h) {
     static_assert(std::is_trivially_destructible_v<Aug>,
                   "Aug must be trivially destructible");
     static_assert(alignof(Aug) <= alignof(std::max_align_t));
-    size_t bytes = sizeof(node) +
-                   static_cast<size_t>(h) *
-                       (2 * sizeof(std::atomic<node*>) + sizeof(Aug));
-    char* mem = static_cast<char*>(::operator new(bytes));
+    static_assert(node_bytes(kMaxHeight) <= node_pool::kMaxBytes,
+                  "Aug too large for pooled allocation");
+    size_t bytes = node_bytes(h);
+    char* mem = static_cast<char*>(pool_.allocate(bytes));
     node* n = new (mem) node;
     n->next = reinterpret_cast<std::atomic<node*>*>(mem + sizeof(node));
     n->prev = n->next + h;
@@ -358,13 +367,14 @@ class augmented_skiplist {
     return n;
   }
 
-  static void destroy(node* n) {
-    n->~node();
-    ::operator delete(static_cast<void*>(n));
+  void destroy(node* n) {
+    static_assert(std::is_trivially_destructible_v<node>);
+    pool_.deallocate(static_cast<void*>(n), node_bytes(n->height));
   }
 
   random rng_;
   std::atomic<uint64_t> counter_{0};
+  node_pool pool_;
 };
 
 }  // namespace bdc

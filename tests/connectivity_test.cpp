@@ -1,10 +1,13 @@
 // Core batch-dynamic connectivity tests: unit behaviours, edge cases, and
 // structured-graph scenarios, with full invariant validation after every
-// mutation. Randomized cross-engine property tests live in
-// connectivity_property_test.cpp.
+// mutation. The whole suite is value-parameterized over the Euler-tour
+// substrate (options::substrate), so every scenario runs against both the
+// skip-list and the treap backend. Randomized cross-engine property tests
+// live in connectivity_property_test.cpp.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/batch_connectivity.hpp"
@@ -13,14 +16,32 @@
 namespace bdc {
 namespace {
 
+constexpr substrate kAllSubstrates[] = {substrate::skiplist,
+                                        substrate::treap};
+
 void expect_healthy(const batch_dynamic_connectivity& dc,
                     const char* where) {
   auto rep = dc.check_invariants();
   ASSERT_TRUE(rep.ok) << where << ": " << rep.message;
 }
 
-TEST(Connectivity, EmptyGraph) {
-  batch_dynamic_connectivity dc(5);
+class Connectivity : public ::testing::TestWithParam<substrate> {
+ protected:
+  [[nodiscard]] options opts(
+      level_search_kind k = level_search_kind::interleaved) const {
+    options o;
+    o.search = k;
+    o.substrate = GetParam();
+    return o;
+  }
+};
+
+std::string substrate_name(const ::testing::TestParamInfo<substrate>& info) {
+  return to_string(info.param);
+}
+
+TEST_P(Connectivity, EmptyGraph) {
+  batch_dynamic_connectivity dc(5, opts());
   EXPECT_EQ(dc.num_vertices(), 5u);
   EXPECT_EQ(dc.num_edges(), 0u);
   EXPECT_FALSE(dc.connected(0, 4));
@@ -31,12 +52,12 @@ TEST(Connectivity, EmptyGraph) {
   expect_healthy(dc, "empty");
 }
 
-TEST(Connectivity, TinyGraphs) {
-  batch_dynamic_connectivity one(1);
+TEST_P(Connectivity, TinyGraphs) {
+  batch_dynamic_connectivity one(1, opts());
   EXPECT_TRUE(one.connected(0, 0));
   expect_healthy(one, "n=1");
 
-  batch_dynamic_connectivity two(2);
+  batch_dynamic_connectivity two(2, opts());
   two.insert({0, 1});
   EXPECT_TRUE(two.connected(0, 1));
   two.erase({0, 1});
@@ -44,8 +65,8 @@ TEST(Connectivity, TinyGraphs) {
   expect_healthy(two, "n=2");
 }
 
-TEST(Connectivity, InsertSanitization) {
-  batch_dynamic_connectivity dc(10);
+TEST_P(Connectivity, InsertSanitization) {
+  batch_dynamic_connectivity dc(10, opts());
   std::vector<edge> batch = {{1, 2}, {2, 1}, {1, 2}, {3, 3}, {4, 5}};
   dc.batch_insert(batch);
   EXPECT_EQ(dc.num_edges(), 2u);  // (1,2) once, (4,5); self-loop dropped
@@ -56,8 +77,8 @@ TEST(Connectivity, InsertSanitization) {
   expect_healthy(dc, "sanitize");
 }
 
-TEST(Connectivity, DeleteSanitization) {
-  batch_dynamic_connectivity dc(10);
+TEST_P(Connectivity, DeleteSanitization) {
+  batch_dynamic_connectivity dc(10, opts());
   dc.insert({1, 2});
   std::vector<edge> del = {{2, 1}, {1, 2}, {7, 8}, {9, 9}};
   dc.batch_delete(del);
@@ -66,8 +87,8 @@ TEST(Connectivity, DeleteSanitization) {
   expect_healthy(dc, "delete-sanitize");
 }
 
-TEST(Connectivity, TriangleReplacement) {
-  batch_dynamic_connectivity dc(3);
+TEST_P(Connectivity, TriangleReplacement) {
+  batch_dynamic_connectivity dc(3, opts());
   dc.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {0, 2}});
   dc.erase({0, 1});
   EXPECT_TRUE(dc.connected(0, 1));
@@ -79,10 +100,10 @@ TEST(Connectivity, TriangleReplacement) {
   expect_healthy(dc, "triangle-2");
 }
 
-TEST(Connectivity, BatchShattersComponent) {
+TEST_P(Connectivity, BatchShattersComponent) {
   // A star: deleting all spokes in one batch creates n pieces.
   const vertex_id n = 64;
-  batch_dynamic_connectivity dc(n);
+  batch_dynamic_connectivity dc(n, opts());
   dc.batch_insert(gen_star(n));
   EXPECT_EQ(dc.component_size(0), n);
   std::vector<edge> all;
@@ -93,9 +114,9 @@ TEST(Connectivity, BatchShattersComponent) {
   expect_healthy(dc, "shatter");
 }
 
-TEST(Connectivity, GridRowDeletion) {
+TEST_P(Connectivity, GridRowDeletion) {
   const vertex_id rows = 8, cols = 8;
-  batch_dynamic_connectivity dc(rows * cols);
+  batch_dynamic_connectivity dc(rows * cols, opts());
   dc.batch_insert(gen_grid(rows, cols));
   expect_healthy(dc, "grid-build");
   // Sever the grid between rows 3 and 4 in one batch.
@@ -110,8 +131,8 @@ TEST(Connectivity, GridRowDeletion) {
   expect_healthy(dc, "grid-cut");
 }
 
-TEST(Connectivity, MixedTreeAndNonTreeDeletion) {
-  batch_dynamic_connectivity dc(6);
+TEST_P(Connectivity, MixedTreeAndNonTreeDeletion) {
+  batch_dynamic_connectivity dc(6, opts());
   dc.batch_insert(
       std::vector<edge>{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 4}, {4, 5}});
   // Delete a mix: non-tree (0,3)-or-tree plus a bridge (4,5).
@@ -121,8 +142,8 @@ TEST(Connectivity, MixedTreeAndNonTreeDeletion) {
   expect_healthy(dc, "mixed");
 }
 
-TEST(Connectivity, ReinsertAfterDelete) {
-  batch_dynamic_connectivity dc(8);
+TEST_P(Connectivity, ReinsertAfterDelete) {
+  batch_dynamic_connectivity dc(8, opts());
   for (int round = 0; round < 30; ++round) {
     dc.batch_insert(gen_path(8));
     ASSERT_TRUE(dc.connected(0, 7));
@@ -132,8 +153,8 @@ TEST(Connectivity, ReinsertAfterDelete) {
   expect_healthy(dc, "reinsert");
 }
 
-TEST(Connectivity, ComponentsLabeling) {
-  batch_dynamic_connectivity dc(9);
+TEST_P(Connectivity, ComponentsLabeling) {
+  batch_dynamic_connectivity dc(9, opts());
   dc.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {4, 5}, {7, 8}});
   auto labels = dc.components();
   EXPECT_EQ(labels[0], 0u);
@@ -147,8 +168,8 @@ TEST(Connectivity, ComponentsLabeling) {
   EXPECT_EQ(labels[8], 7u);
 }
 
-TEST(Connectivity, BatchQueries) {
-  batch_dynamic_connectivity dc(6);
+TEST_P(Connectivity, BatchQueries) {
+  batch_dynamic_connectivity dc(6, opts());
   dc.batch_insert(std::vector<edge>{{0, 1}, {2, 3}});
   std::vector<std::pair<vertex_id, vertex_id>> qs = {
       {0, 1}, {1, 0}, {0, 2}, {2, 3}, {4, 5}, {5, 5}};
@@ -156,8 +177,8 @@ TEST(Connectivity, BatchQueries) {
   EXPECT_EQ(ans, (std::vector<bool>{true, true, false, true, false, true}));
 }
 
-TEST(Connectivity, StatsProgress) {
-  batch_dynamic_connectivity dc(32);
+TEST_P(Connectivity, StatsProgress) {
+  batch_dynamic_connectivity dc(32, opts());
   auto es = gen_erdos_renyi(32, 120, 77);
   dc.batch_insert(es);
   EXPECT_EQ(dc.stats().edges_inserted, 120u);
@@ -169,11 +190,19 @@ TEST(Connectivity, StatsProgress) {
   EXPECT_EQ(dc.stats().edges_deleted, 0u);
 }
 
-class EngineSweep : public ::testing::TestWithParam<level_search_kind> {};
+INSTANTIATE_TEST_SUITE_P(Substrates, Connectivity,
+                         ::testing::ValuesIn(kAllSubstrates),
+                         substrate_name);
+
+class EngineSweep
+    : public ::testing::TestWithParam<
+          std::tuple<level_search_kind, substrate>> {};
 
 TEST_P(EngineSweep, DenseThenFullDeletion) {
+  auto [engine, sub] = GetParam();
   options o;
-  o.search = GetParam();
+  o.search = engine;
+  o.substrate = sub;
   const vertex_id n = 48;
   batch_dynamic_connectivity dc(n, o);
   auto es = gen_erdos_renyi(n, 400, 123);
@@ -193,10 +222,23 @@ TEST_P(EngineSweep, DenseThenFullDeletion) {
   for (vertex_id v = 1; v < n; ++v) ASSERT_FALSE(dc.connected(0, v));
 }
 
-INSTANTIATE_TEST_SUITE_P(Engines, EngineSweep,
-                         ::testing::Values(level_search_kind::interleaved,
-                                           level_search_kind::simple,
-                                           level_search_kind::scan_all));
+std::string engine_name(
+    const ::testing::TestParamInfo<std::tuple<level_search_kind, substrate>>&
+        info) {
+  level_search_kind engine = std::get<0>(info.param);
+  const char* e = engine == level_search_kind::interleaved ? "interleaved"
+                  : engine == level_search_kind::simple    ? "simple"
+                                                           : "scanall";
+  return std::string(e) + "_" + to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineSweep,
+    ::testing::Combine(::testing::Values(level_search_kind::interleaved,
+                                         level_search_kind::simple,
+                                         level_search_kind::scan_all),
+                       ::testing::ValuesIn(kAllSubstrates)),
+    engine_name);
 
 }  // namespace
 }  // namespace bdc

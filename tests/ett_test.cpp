@@ -1,12 +1,16 @@
-// Batch-parallel Euler tour tree tests: model-based randomized batches of
-// links/cuts against a union-find oracle, augmentation counters, fetch
-// primitives, and internal consistency after every batch.
+// Euler-tour substrate tests, value-parameterized over every backend
+// (substrate::skiplist and substrate::treap): model-based randomized
+// batches of links/cuts against a union-find oracle, augmentation
+// counters, fetch primitives, and internal consistency after every batch.
+// Both substrates must satisfy the identical ett_substrate contract.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
-#include "ett/euler_tour_tree.hpp"
+#include "ett/ett_substrate.hpp"
 #include "gen/graph_gen.hpp"
 #include "spanning/union_find.hpp"
 #include "util/random.hpp"
@@ -14,8 +18,24 @@
 namespace bdc {
 namespace {
 
-TEST(Ett, EmptyForestBasics) {
-  euler_tour_forest f(10);
+constexpr substrate kAllSubstrates[] = {substrate::skiplist,
+                                        substrate::treap};
+
+class EttSubstrate : public ::testing::TestWithParam<substrate> {
+ protected:
+  [[nodiscard]] std::unique_ptr<ett_substrate> make(
+      vertex_id n, uint64_t seed = 0xe77e77) const {
+    return make_ett(GetParam(), n, seed);
+  }
+};
+
+std::string substrate_name(const ::testing::TestParamInfo<substrate>& info) {
+  return to_string(info.param);
+}
+
+TEST_P(EttSubstrate, EmptyForestBasics) {
+  auto fp = make(10);
+  ett_substrate& f = *fp;
   EXPECT_EQ(f.num_vertices(), 10u);
   EXPECT_EQ(f.num_edges(), 0u);
   EXPECT_FALSE(f.connected(0, 1));
@@ -24,8 +44,9 @@ TEST(Ett, EmptyForestBasics) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
-TEST(Ett, SingleLinkCut) {
-  euler_tour_forest f(4);
+TEST_P(EttSubstrate, SingleLinkCut) {
+  auto fp = make(4);
+  ett_substrate& f = *fp;
   f.link({0, 1});
   EXPECT_TRUE(f.connected(0, 1));
   EXPECT_TRUE(f.has_edge({1, 0}));
@@ -38,9 +59,10 @@ TEST(Ett, SingleLinkCut) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
-TEST(Ett, LinkWholePathThenCutMiddle) {
+TEST_P(EttSubstrate, LinkWholePathThenCutMiddle) {
   const vertex_id n = 64;
-  euler_tour_forest f(n);
+  auto fp = make(n);
+  ett_substrate& f = *fp;
   auto path = gen_path(n);
   f.batch_link(path);
   EXPECT_TRUE(f.connected(0, n - 1));
@@ -54,9 +76,10 @@ TEST(Ett, LinkWholePathThenCutMiddle) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
-TEST(Ett, StarBatchLink) {
+TEST_P(EttSubstrate, StarBatchLink) {
   const vertex_id n = 100;
-  euler_tour_forest f(n);
+  auto fp = make(n);
+  ett_substrate& f = *fp;
   f.batch_link(gen_star(n));
   EXPECT_EQ(f.component_size(0), n);
   EXPECT_TRUE(f.check_consistency().empty());
@@ -69,11 +92,11 @@ TEST(Ett, StarBatchLink) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
-TEST(Ett, CountsAndFetch) {
-  euler_tour_forest f(8);
+TEST_P(EttSubstrate, CountsAndFetch) {
+  auto fp = make(8);
+  ett_substrate& f = *fp;
   f.batch_link(gen_path(8));
-  std::vector<euler_tour_forest::count_delta> deltas = {
-      {2, 1, 3}, {5, 0, 2}};
+  std::vector<ett_substrate::count_delta> deltas = {{2, 1, 3}, {5, 0, 2}};
   f.batch_add_counts(deltas);
   auto cc = f.component_counts(0);
   EXPECT_EQ(cc.vertices, 8u);
@@ -94,21 +117,51 @@ TEST(Ett, CountsAndFetch) {
   EXPECT_EQ(tslots[0].first, 2u);
   EXPECT_EQ(tslots[0].second, 1u);
   // Deltas can be negative.
-  std::vector<euler_tour_forest::count_delta> down = {{2, -1, -3}, {5, 0, -2}};
+  std::vector<ett_substrate::count_delta> down = {{2, -1, -3}, {5, 0, -2}};
   f.batch_add_counts(down);
   cc = f.component_counts(0);
   EXPECT_EQ(cc.tree_edges, 0u);
   EXPECT_EQ(cc.nontree_edges, 0u);
 }
 
+TEST_P(EttSubstrate, ComponentVerticesMatchesTour) {
+  auto fp = make(10);
+  ett_substrate& f = *fp;
+  f.batch_link(std::vector<edge>{{0, 1}, {1, 2}, {2, 3}});
+  auto vs = f.component_vertices(2);
+  std::set<vertex_id> got(vs.begin(), vs.end());
+  EXPECT_EQ(got, (std::set<vertex_id>{0, 1, 2, 3}));
+}
+
+TEST_P(EttSubstrate, RelinkAfterCutSameBatchBoundary) {
+  // Cut and relink the same edge repeatedly: exercises the pooled node
+  // recycling paths (cut arcs must be reusable by the next link).
+  auto fp = make(6);
+  ett_substrate& f = *fp;
+  for (int i = 0; i < 50; ++i) {
+    f.link({2, 4});
+    ASSERT_TRUE(f.connected(2, 4));
+    f.cut({2, 4});
+    ASSERT_FALSE(f.connected(2, 4));
+  }
+  EXPECT_TRUE(f.check_consistency().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, EttSubstrate,
+                         ::testing::ValuesIn(kAllSubstrates),
+                         substrate_name);
+
 class EttRandomSweep
-    : public ::testing::TestWithParam<std::pair<int, int>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::pair<int, int>, substrate>> {};
 
 TEST_P(EttRandomSweep, BatchesAgainstUnionFindOracle) {
-  auto [trial, nn] = GetParam();
+  auto [trial_n, sub] = GetParam();
+  auto [trial, nn] = trial_n;
   const vertex_id n = static_cast<vertex_id>(nn);
   random_stream rs(trial * 131 + nn);
-  euler_tour_forest f(n, 1000 + trial);
+  auto fp = make_ett(sub, n, 1000 + trial);
+  ett_substrate& f = *fp;
   std::set<std::pair<vertex_id, vertex_id>> tree_edges;
   for (int round = 0; round < 25; ++round) {
     // Random batch of links among distinct components.
@@ -160,34 +213,27 @@ TEST_P(EttRandomSweep, BatchesAgainstUnionFindOracle) {
   }
 }
 
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<std::pair<int, int>, substrate>>&
+        info) {
+  const auto& trial_n = std::get<0>(info.param);
+  return std::string(to_string(std::get<1>(info.param))) + "_t" +
+         std::to_string(trial_n.first) + "_n" +
+         std::to_string(trial_n.second);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Trials, EttRandomSweep,
-    ::testing::Values(std::pair<int, int>{0, 2}, std::pair<int, int>{1, 3},
-                      std::pair<int, int>{2, 16},
-                      std::pair<int, int>{3, 100},
-                      std::pair<int, int>{4, 100},
-                      std::pair<int, int>{5, 400},
-                      std::pair<int, int>{6, 1000}));
-
-TEST(Ett, ComponentVerticesMatchesTour) {
-  euler_tour_forest f(10);
-  f.batch_link(std::vector<edge>{{0, 1}, {1, 2}, {2, 3}});
-  auto vs = f.component_vertices(2);
-  std::set<vertex_id> got(vs.begin(), vs.end());
-  EXPECT_EQ(got, (std::set<vertex_id>{0, 1, 2, 3}));
-}
-
-TEST(Ett, RelinkAfterCutSameBatchBoundary) {
-  // Cut and relink the same edge repeatedly: exercises node reuse paths.
-  euler_tour_forest f(6);
-  for (int i = 0; i < 50; ++i) {
-    f.link({2, 4});
-    ASSERT_TRUE(f.connected(2, 4));
-    f.cut({2, 4});
-    ASSERT_FALSE(f.connected(2, 4));
-  }
-  EXPECT_TRUE(f.check_consistency().empty());
-}
+    ::testing::Combine(
+        ::testing::Values(std::pair<int, int>{0, 2},
+                          std::pair<int, int>{1, 3},
+                          std::pair<int, int>{2, 16},
+                          std::pair<int, int>{3, 100},
+                          std::pair<int, int>{4, 100},
+                          std::pair<int, int>{5, 400},
+                          std::pair<int, int>{6, 1000}),
+        ::testing::ValuesIn(kAllSubstrates)),
+    sweep_name);
 
 }  // namespace
 }  // namespace bdc

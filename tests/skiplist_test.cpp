@@ -22,7 +22,7 @@ struct fixture {
   std::vector<node*> nodes;
 
   ~fixture() {
-    for (node* n : nodes) sl::free_node(n);
+    for (node* n : nodes) list.free_node(n);
   }
   node* add(long v) {
     nodes.push_back(list.create_node(nodes.size(), v));

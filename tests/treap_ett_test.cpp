@@ -4,8 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "ett/treap_ett.hpp"
 #include "gen/graph_gen.hpp"
-#include "hdt/treap_ett.hpp"
 #include "spanning/union_find.hpp"
 #include "util/random.hpp"
 
@@ -103,6 +103,46 @@ TEST(TreapEtt, ComponentVerticesTourOrder) {
   std::set<vertex_id> got(vs.begin(), vs.end());
   EXPECT_EQ(got, (std::set<vertex_id>{0, 1, 2, 3}));
   EXPECT_EQ(vs.size(), 4u);
+}
+
+TEST(TreapEtt, BatchSurfaceMatchesSequential) {
+  // Drive the ett_substrate batch API and cross-check the per-edge view.
+  const vertex_id n = 32;
+  treap_ett f(n);
+  ett_substrate& s = f;
+  auto path = gen_path(n);
+  s.batch_link(path);
+  EXPECT_EQ(s.num_edges(), path.size());
+  EXPECT_TRUE(f.connected(0, n - 1));
+
+  std::vector<ett_substrate::count_delta> deltas = {{3, 1, 2}, {9, 0, 1}};
+  s.batch_add_counts(deltas);
+  auto cc = s.component_counts(0);
+  EXPECT_EQ(cc.tree_edges, 1u);
+  EXPECT_EQ(cc.nontree_edges, 3u);
+  auto slots = s.fetch_nontree(0, 99);
+  uint64_t sum = 0;
+  for (auto& [v, take] : slots) {
+    EXPECT_TRUE(v == 3 || v == 9);
+    sum += take;
+  }
+  EXPECT_EQ(sum, 3u);
+  EXPECT_EQ(f.find_nontree_slot(n - 1), slots.front().first);
+
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {
+      {0, n - 1}, {1, 2}, {5, 5}};
+  EXPECT_EQ(s.batch_connected(qs), (std::vector<bool>{true, true, true}));
+  auto reps = s.batch_find_rep(std::vector<vertex_id>{0, n / 2, n - 1});
+  EXPECT_EQ(reps[0], reps[1]);
+  EXPECT_EQ(reps[1], reps[2]);
+
+  s.batch_add_counts(std::vector<ett_substrate::count_delta>{
+      {3, -1, -2}, {9, 0, -1}});
+  std::vector<edge> cuts(path.begin(), path.begin() + 8);
+  s.batch_cut(cuts);
+  EXPECT_FALSE(f.connected(0, 8));
+  EXPECT_TRUE(f.connected(8, n - 1));
+  EXPECT_TRUE(s.check_consistency().empty());
 }
 
 TEST(TreapEtt, StarStress) {

@@ -5,19 +5,29 @@
 //
 // Usage:
 //   stream_runner gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
-//   stream_runner run <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
+//   stream_runner run [--substrate=skiplist|treap] [--workers=N]
+//                     <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
 //                      incremental> <stream-file>
 //   stream_runner            (no args: self-demo on a generated stream)
+//
+// --substrate selects the Euler-tour backend of the dynamic structures;
+// --workers rebuilds the scheduler pool before the replay (equivalent to
+// BDC_NUM_WORKERS, but scoped to this run). After a replay the cumulative
+// `statistics` counters of the structure are printed.
 //
 // Stream file format (text): first line "n <N>", then one line per batch:
 //   I <u1> <v1> <u2> <v2> ...     insertion batch
 //   D <u1> <v1> ...               deletion batch
 //   Q <u1> <v1> ...               connectivity-query batch
+#include <cerrno>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/incremental_connectivity.hpp"
 #include "baselines/static_connectivity.hpp"
@@ -25,6 +35,7 @@
 #include "gen/graph_gen.hpp"
 #include "gen/update_stream.hpp"
 #include "hdt/hdt_connectivity.hpp"
+#include "parallel/scheduler.hpp"
 #include "util/timer.hpp"
 
 using namespace bdc;
@@ -151,19 +162,46 @@ void print_report(const char* name, const replay_report& r) {
               r.connected_answers);
 }
 
+void print_statistics(const statistics& st) {
+  std::printf(
+      "  stats: batches ins/del %" PRIu64 "/%" PRIu64 " | edges ins/del %"
+      PRIu64 "/%" PRIu64 " (tree del %" PRIu64 ")\n"
+      "         levels searched %" PRIu64 " | search rounds %" PRIu64
+      " | doubling phases %" PRIu64 "\n"
+      "         edges fetched %" PRIu64 " | pushed %" PRIu64
+      " | replacements promoted %" PRIu64 "\n",
+      st.batches_inserted, st.batches_deleted, st.edges_inserted,
+      st.edges_deleted, st.tree_edges_deleted, st.levels_searched,
+      st.search_rounds, st.doubling_phases, st.edges_fetched,
+      st.edges_pushed, st.replacements_promoted);
+}
+
+void print_statistics(const hdt_connectivity::statistics& st) {
+  std::printf(
+      "  stats: edges ins/del %" PRIu64 "/%" PRIu64 " (tree del %" PRIu64
+      ") | levels searched %" PRIu64 " | edges pushed %" PRIu64
+      " | replacements promoted %" PRIu64 "\n",
+      st.edges_inserted, st.edges_deleted, st.tree_edges_deleted,
+      st.levels_searched, st.edges_pushed, st.replacements_promoted);
+}
+
 int run_structure(const std::string& which, vertex_id n,
-                  const update_stream& stream) {
+                  const update_stream& stream, substrate sub) {
   if (which == "dynamic" || which == "dynamic-simple" ||
       which == "dynamic-scanall") {
     options o;
     o.search = which == "dynamic" ? level_search_kind::interleaved
                : which == "dynamic-simple" ? level_search_kind::simple
                                            : level_search_kind::scan_all;
+    o.substrate = sub;
     batch_dynamic_connectivity s(n, o);
-    print_report(which.c_str(), replay(s, stream));
+    std::string label = which + "/" + to_string(sub);
+    print_report(label.c_str(), replay(s, stream));
+    print_statistics(s.stats());
   } else if (which == "hdt") {
     hdt_connectivity s(n);
     print_report("hdt", replay(s, stream));
+    print_statistics(s.stats());
   } else if (which == "static") {
     static_recompute_connectivity s(n);
     print_report("static", replay(s, stream));
@@ -183,24 +221,74 @@ int self_demo() {
   const vertex_id n = 4096;
   auto graph = gen_erdos_renyi(n, 4 * n, 1);
   auto stream = make_deletion_stream(graph, n, 1024, 512, 256, 2);
-  for (const char* s :
-       {"dynamic", "dynamic-simple", "hdt", "static"}) {
-    if (int rc = run_structure(s, n, stream); rc != 0) return rc;
+  // The dynamic structure runs once per substrate (a built-in A/B pass).
+  for (substrate sub : {substrate::skiplist, substrate::treap}) {
+    if (int rc = run_structure("dynamic", n, stream, sub); rc != 0)
+      return rc;
+  }
+  for (const char* s : {"dynamic-simple", "hdt", "static"}) {
+    if (int rc = run_structure(s, n, stream, substrate::skiplist); rc != 0)
+      return rc;
   }
   return 0;
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
+               "  %s run [--substrate=skiplist|treap] [--workers=N] "
+               "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
+               "static|incremental> <stream-file>\n"
+               "  %s                (self-demo)\n",
+               prog, prog, prog);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 1) return self_demo();
-  std::string cmd = argv[1];
-  if (cmd == "gen" && argc == 8) {
-    std::string kind = argv[2];
-    vertex_id n = static_cast<vertex_id>(std::stoul(argv[3]));
-    size_t m = std::stoul(argv[4]);
-    size_t batch = std::stoul(argv[5]);
-    uint64_t seed = std::stoull(argv[6]);
+
+  // Flags may appear anywhere; everything else is positional.
+  substrate sub = substrate::skiplist;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--substrate=", 0) == 0) {
+      auto parsed = substrate_from_string(a.substr(12));
+      if (!parsed) {
+        std::fprintf(stderr, "unknown substrate '%s'\n", a.c_str() + 12);
+        return 2;
+      }
+      sub = *parsed;
+    } else if (a.rfind("--workers=", 0) == 0) {
+      const char* value = a.c_str() + 10;
+      char* end = nullptr;
+      errno = 0;
+      unsigned long w = std::strtoul(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || w == 0 ||
+          w > 4096) {
+        std::fprintf(stderr, "bad --workers value '%s' (want 1..4096)\n",
+                     value);
+        return 2;
+      }
+      set_num_workers(static_cast<unsigned>(w));
+    } else if (a.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      args.push_back(std::move(a));
+    }
+  }
+  if (args.empty()) return self_demo();
+
+  const std::string& cmd = args[0];
+  if (cmd == "gen" && args.size() == 7) {
+    std::string kind = args[1];
+    vertex_id n = static_cast<vertex_id>(std::stoul(args[2]));
+    size_t m = std::stoul(args[3]);
+    size_t batch = std::stoul(args[4]);
+    uint64_t seed = std::stoull(args[5]);
     std::vector<edge> graph;
     if (kind == "erdos") {
       graph = gen_erdos_renyi(n, m, seed);
@@ -217,26 +305,19 @@ int main(int argc, char** argv) {
     }
     auto stream =
         make_deletion_stream(graph, n, batch, batch, batch / 4, seed + 1);
-    write_stream(argv[7], n, stream);
+    write_stream(args[6], n, stream);
     std::printf("wrote %zu batches over %u vertices to %s\n", stream.size(),
-                n, argv[7]);
+                n, args[6].c_str());
     return 0;
   }
-  if (cmd == "run" && argc == 4) {
+  if (cmd == "run" && args.size() == 3) {
     vertex_id n = 0;
     update_stream stream;
-    if (!read_stream(argv[3], n, stream)) {
-      std::fprintf(stderr, "cannot read stream file '%s'\n", argv[3]);
+    if (!read_stream(args[2], n, stream)) {
+      std::fprintf(stderr, "cannot read stream file '%s'\n", args[2].c_str());
       return 2;
     }
-    return run_structure(argv[2], n, stream);
+    return run_structure(args[1], n, stream, sub);
   }
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
-               "  %s run <dynamic|dynamic-simple|dynamic-scanall|hdt|"
-               "static|incremental> <stream-file>\n"
-               "  %s                (self-demo)\n",
-               argv[0], argv[0], argv[0]);
-  return 2;
+  return usage(argv[0]);
 }
