@@ -147,6 +147,41 @@ BENCHMARK(BM_SubstrateCountsAndFetch)
     ->ArgName("substrate");
 
 // ---------------------------------------------------------------------
+// Treap mutation scaling: the join-based bulk link/cut phases at several
+// worker-pool sizes. workers=1 takes the substrate's sequential
+// split/merge fallback, so the 1-worker row IS the pre-join baseline and
+// the ≥2-worker rows measure the parallel speedup on identical batches.
+// ---------------------------------------------------------------------
+
+static void BM_TreapMutationWorkers(benchmark::State& state) {
+  unsigned workers = static_cast<unsigned>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  unsigned before = num_workers();
+  set_num_workers(workers);
+  {
+    // Scope the forest so its worker-sliced node pool dies before the
+    // pool size is restored.
+    auto f = make_ett(substrate::treap, kEttN, 21);
+    auto forest_edges =
+        gen_random_forest(kEttN, kEttN / 2 >= k ? kEttN - k : 1, 22);
+    forest_edges.resize(std::min(forest_edges.size(), k));
+    std::span<const edge> batch(forest_edges.data(), forest_edges.size());
+    for (auto _ : state) {
+      f->batch_link(batch);
+      f->batch_cut(batch);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(2 * batch.size()) *
+                            state.iterations());
+  }
+  set_num_workers(before);
+}
+BENCHMARK(BM_TreapMutationWorkers)
+    ->ArgsProduct({{1, 2, 4, 8}, {256, 4096}})
+    ->ArgNames({"workers", "k"})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------
 // Pooled vs per-node heap allocation (the acceptance gate for
 // util/node_pool.hpp: the pool must not lose to operator new on the
 // alloc/free churn a batch insert/delete performs).

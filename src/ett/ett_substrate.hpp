@@ -15,12 +15,18 @@
 //     the phase-concurrent augmented skip list (Tseng et al. [62]); the
 //     paper's own representation and the default.
 //   * substrate::treap   — `treap_ett`, tours over sequence treaps
-//     (Henzinger–King style); sequential mutation phases with parallel
-//     read-only query phases.
+//     (Henzinger–King style); mutation batches are parallel join-based
+//     bulk operations partitioned by tour, read-only batches fan out
+//     across workers.
 //
 // Phase contract (both substrates): a batch mutation call is one exclusive
 // phase; read-only queries (connected / find_rep / counts / fetch) may run
-// concurrently with each other but never with a mutation.
+// concurrently with each other but never with a mutation. A mutation batch
+// may itself fan work out across the scheduler's workers, so it must be
+// issued from a single logical root task, and the batch preconditions
+// below (distinct edges, acyclic link batches, present distinct cuts) are
+// load-bearing for that internal parallelism — a substrate may partition
+// the batch by the tours it touches and mutate those tours concurrently.
 #pragma once
 
 #include <cstdint>

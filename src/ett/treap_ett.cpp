@@ -6,6 +6,9 @@
 
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
+#include "sequence/parallel_sort.hpp"
+#include "sequence/semisort.hpp"
+#include "spanning/union_find.hpp"
 
 namespace bdc {
 
@@ -41,10 +44,15 @@ treap_ett::treap_ett(vertex_id n, uint64_t seed)
 }
 
 treap_ett::node* treap_ett::make_node(uint64_t tag) {
+  return make_node_with_priority(tag, rng_.ith_rand(counter_++));
+}
+
+treap_ett::node* treap_ett::make_node_with_priority(uint64_t tag,
+                                                    uint64_t priority) {
   static_assert(sizeof(node) <= node_pool::kMaxBytes);
   node* x = new (pool_.allocate(sizeof(node))) node;
   x->tag = tag;
-  x->priority = rng_.ith_rand(counter_++);
+  x->priority = priority;
   return x;
 }
 
@@ -83,6 +91,21 @@ treap_ett::node* treap_ett::merge(node* a, node* b) {
   if (l) l->parent = b;
   update(b);
   return b;
+}
+
+treap_ett::node* treap_ett::join_all(std::span<node* const> segs) {
+  if (segs.empty()) return nullptr;
+  // Balanced divide-and-conquer join reduction: join is associative on
+  // sequences, so any parenthesization yields the same tour; the balanced
+  // tree gives O(lg k) join rounds that proceed in parallel.
+  return fork_join_reduce<node*>(
+      0, segs.size(), /*grain=*/8,
+      [&](size_t lo, size_t hi) {
+        node* acc = nullptr;
+        for (size_t i = lo; i < hi; ++i) acc = merge(acc, segs[i]);
+        return acc;
+      },
+      [](node* a, node* b) { return merge(a, b); });
 }
 
 std::pair<treap_ett::node*, treap_ett::node*> treap_ett::split_before(
@@ -139,9 +162,14 @@ std::pair<treap_ett::node*, treap_ett::node*> treap_ett::split_after(
       update(p);
       r = merge(r, p);
     } else {
+      // cur was p's right child: p and its left subtree precede cur (and
+      // everything accumulated in l so far). Accumulating as merge(l, p)
+      // here was a latent seed bug: every historical caller passed a node
+      // already made leftmost by split_before, so this branch first ran —
+      // and first got fuzzed — when the join-based bulk link landed.
       p->right = nullptr;
       update(p);
-      l = merge(l, p);
+      l = merge(p, l);
     }
     cur = p;
     p = gp;
@@ -206,22 +234,406 @@ void treap_ett::cut(vertex_id u, vertex_id v) {
 }
 
 // ---------------------------------------------------------------------
-// Batch surface. Mutations run sequentially (the batch preconditions make
-// any order valid); read-only batches fan out across workers.
+// Batch surface. Mutations are join-based bulk operations: a read-only
+// phase resolves every touched tour, the batch is partitioned into groups
+// touching disjoint tours, and groups rebuild their tours concurrently with
+// divide-and-conquer join reductions. Small batches (or a 1-worker pool)
+// fall back to the sequential split/merge loop, which the batch
+// preconditions (acyclic link batches, present distinct cuts) make valid
+// in any order. Read-only batches fan out across workers unconditionally.
 // ---------------------------------------------------------------------
 
+// One independent link group: the batch indices of the links forming one
+// merged component, plus the batch-wide lookaside arrays resolved in the
+// read-only phases (tour root per endpoint, pre-made arc nodes per link).
+struct treap_ett::link_group_ctx {
+  std::span<const edge> links;                             // whole batch
+  std::span<const std::pair<uint32_t, uint32_t>> members;  // (group, index)
+  node* const* root_u;                                     // per batch index
+  node* const* root_v;
+  const arc_nodes* arcs;                                   // per batch index
+};
+
+void treap_ett::link_group(const link_group_ctx& ctx) {
+  // The group's links form a tree over its tours (the batch keeps the
+  // graph acyclic). The merged tour is emitted as an ordered list of treap
+  // segments by a DFS over that link tree: each old tour is rotated to
+  // start at its entry vertex and split once after each attachment
+  // sentinel, and a link (b, c) contributes "arc bc, tour of c's tree
+  // rotated at c, arc cb" right after b's sentinel. One balanced join
+  // reduction then rebuilds the merged treap.
+  //
+  // Groups are numerous and mostly tiny (a large random batch over a big
+  // forest shatters into thousands of 1–3 link groups), so this path is
+  // deliberately allocation-light: a single-link group takes a
+  // straight-line fast path, and the general path uses flat sorted arrays
+  // with binary-searched slices instead of hash containers.
+  size_t m = ctx.members.size();
+  if (m == 1) {
+    uint32_t i = ctx.members.front().second;
+    const edge& e = ctx.links[i];
+    node* tu = reroot(e.u);
+    node* tv = reroot(e.v);
+    merge(merge(tu, ctx.arcs[i].fwd), merge(tv, ctx.arcs[i].rev));
+    return;
+  }
+
+  // Flat adjacency: (vertex, link index) sorted by vertex; a vertex's
+  // incident group links are one contiguous slice.
+  std::vector<std::pair<vertex_id, uint32_t>> adj;
+  adj.reserve(2 * m);
+  for (const auto& [group, i] : ctx.members) {
+    (void)group;
+    adj.push_back({ctx.links[i].u, i});
+    adj.push_back({ctx.links[i].v, i});
+  }
+  std::sort(adj.begin(), adj.end());
+  // Attachment vertices per tour: one entry per distinct vertex, sorted by
+  // tour root so each tree's attachments are one contiguous slice.
+  std::vector<std::pair<uintptr_t, vertex_id>> attach;
+  attach.reserve(adj.size());
+  for (size_t j = 0; j < adj.size(); ++j) {
+    if (j > 0 && adj[j].first == adj[j - 1].first) continue;
+    uint32_t i = adj[j].second;
+    node* root = ctx.links[i].u == adj[j].first ? ctx.root_u[i]
+                                                : ctx.root_v[i];
+    attach.push_back({reinterpret_cast<uintptr_t>(root), adj[j].first});
+  }
+  std::sort(attach.begin(), attach.end());
+  auto adj_slice = [&](vertex_id v) {
+    auto lo = std::lower_bound(adj.begin(), adj.end(),
+                               std::pair<vertex_id, uint32_t>{v, 0});
+    auto hi = lo;
+    while (hi != adj.end() && hi->first == v) ++hi;
+    return std::span<const std::pair<vertex_id, uint32_t>>{lo, hi};
+  };
+
+  // Emission actions: a filled `seg` emits one ready treap segment; a null
+  // `seg` expands the not-yet-split tour rooted at `tree`, entered at
+  // vertex `entry` via link `via` (the DFS-parent link, skipped when the
+  // tree's own adjacency is walked). The explicit stack keeps the DFS
+  // depth off the worker stack (a path-shaped link batch nests O(batch)
+  // deep).
+  constexpr uint32_t kNoVia = ~uint32_t{0};
+  struct action {
+    node* seg;
+    node* tree;
+    vertex_id entry;
+    uint32_t via;
+  };
+  std::vector<action> stack;
+  std::vector<node*> out;
+  out.reserve(4 * m + 2);
+
+  const edge& first = ctx.links[ctx.members.front().second];
+  stack.push_back(
+      {nullptr, ctx.root_u[ctx.members.front().second], first.u, kNoVia});
+  std::vector<action> items;  // forward-order emission of one tour
+  std::vector<std::pair<size_t, vertex_id>> ranked;
+  while (!stack.empty()) {
+    action act = stack.back();
+    stack.pop_back();
+    if (act.seg != nullptr) {
+      out.push_back(act.seg);
+      continue;
+    }
+    node* tree = act.tree;
+    vertex_id entry = act.entry;
+    uint32_t via = act.via;
+    // This tree's attachments, with tour positions taken before splitting;
+    // sorted by rotated rank so the entry comes first.
+    auto alo = std::lower_bound(
+        attach.begin(), attach.end(),
+        std::pair<uintptr_t, vertex_id>{reinterpret_cast<uintptr_t>(tree), 0});
+    size_t size = tree->subtree_nodes;
+    size_t entry_rank = rank_of(sentinel_[entry]);
+    ranked.clear();
+    for (auto it = alo;
+         it != attach.end() && it->first == reinterpret_cast<uintptr_t>(tree);
+         ++it) {
+      size_t r = rank_of(sentinel_[it->second]);
+      ranked.emplace_back((r + size - entry_rank) % size, it->second);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    assert(!ranked.empty() && ranked.front().second == entry);
+
+    items.clear();
+    auto [before, from] = split_before(sentinel_[entry]);
+    node* cur = from;  // rotated tour = from ++ before
+    auto peel = [&](vertex_id b) {
+      // Peels the leading segment of `cur` ending at b's sentinel, then
+      // queues the subtrees hanging off b.
+      auto [seg, rest] = split_after(sentinel_[b]);
+      cur = rest;
+      if (seg != nullptr) items.push_back({seg, nullptr, 0, 0});
+      for (const auto& [vx, i] : adj_slice(b)) {
+        if (i == via) continue;  // the DFS-parent link: emitted upstream
+        const edge& e = ctx.links[i];
+        bool fwd = e.u == b;
+        items.push_back(
+            {fwd ? ctx.arcs[i].fwd : ctx.arcs[i].rev, nullptr, 0, 0});
+        items.push_back({nullptr, fwd ? ctx.root_v[i] : ctx.root_u[i],
+                         fwd ? e.v : e.u, i});
+        items.push_back(
+            {fwd ? ctx.arcs[i].rev : ctx.arcs[i].fwd, nullptr, 0, 0});
+      }
+    };
+    size_t j = 0;
+    size_t before_size = before == nullptr ? 0 : before->subtree_nodes;
+    size_t from_size = size - before_size;  // ranks >= entry_rank
+    for (; j < ranked.size() && ranked[j].first < from_size; ++j)
+      peel(ranked[j].second);
+    if (cur != nullptr) items.push_back({cur, nullptr, 0, 0});  // `from` tail
+    cur = before;
+    for (; j < ranked.size(); ++j) peel(ranked[j].second);
+    if (cur != nullptr) items.push_back({cur, nullptr, 0, 0});  // last tail
+    stack.insert(stack.end(), items.rbegin(), items.rend());
+  }
+  join_all(out);
+}
+
 void treap_ett::batch_link(std::span<const edge> links) {
-  arcs_.reserve_for(links.size());
-  for (const edge& e : links) link(e.u, e.v);
+  size_t k = links.size();
+  arcs_.reserve_for(k);
+  if (k < kParallelMutationCutoff || num_workers() <= 1) {
+    for (const edge& e : links) link(e.u, e.v);
+    return;
+  }
+
+  // Phase 1 (read-only, parallel): resolve each endpoint's tour root.
+  std::vector<node*> root_u(k), root_v(k);
+  parallel_for(0, k, [&](size_t i) {
+    root_u[i] = root_of(sentinel_[links[i].u]);
+    root_v[i] = root_of(sentinel_[links[i].v]);
+  });
+
+  // Phase 2 (parallel): make both arc nodes per link — priorities come from
+  // a counter range reserved up front, so the result is deterministic and
+  // workers never touch shared RNG state — and register them in the arc map
+  // (concurrent inserts of distinct keys are phase-safe).
+  uint64_t base = counter_;
+  counter_ += 2 * k;
+  std::vector<arc_nodes> arcs(k);
+  parallel_for(0, k, [&](size_t i) {
+    const edge& e = links[i];
+    node* fwd =
+        make_node_with_priority(arc_key(e.u, e.v), rng_.ith_rand(base + 2 * i));
+    node* rev = make_node_with_priority(arc_key(e.v, e.u),
+                                        rng_.ith_rand(base + 2 * i + 1));
+    update(fwd);
+    update(rev);
+    arcs[i] = {fwd, rev};
+    arcs_.insert(edge_key(e.canonical()), arcs[i]);
+  });
+
+  // Phase 3: union-find over the touched tour roots partitions the batch
+  // into groups whose merged components are disjoint. Root pointers get
+  // dense ids by sort + binary search (parallel, and much cheaper than a
+  // hash map at this size).
+  std::vector<node*> roots(2 * k);
+  parallel_for(0, k, [&](size_t i) {
+    roots[i] = root_u[i];
+    roots[k + i] = root_v[i];
+  });
+  parallel_sort(roots);
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::vector<uint32_t> tid_u(k), tid_v(k);
+  parallel_for(0, k, [&](size_t i) {
+    tid_u[i] = static_cast<uint32_t>(
+        std::lower_bound(roots.begin(), roots.end(), root_u[i]) -
+        roots.begin());
+    tid_v[i] = static_cast<uint32_t>(
+        std::lower_bound(roots.begin(), roots.end(), root_v[i]) -
+        roots.begin());
+  });
+  union_find uf(roots.size());
+  for (size_t i = 0; i < k; ++i) uf.unite(tid_u[i], tid_v[i]);
+  std::vector<std::pair<uint32_t, uint32_t>> keyed(k);
+  for (size_t i = 0; i < k; ++i)
+    keyed[i] = {uf.find(tid_u[i]), static_cast<uint32_t>(i)};
+  auto groups = group_by_key(std::move(keyed));
+
+  // Phase 4 (parallel over groups): rebuild each merged tour.
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t g) {
+        std::span<const std::pair<uint32_t, uint32_t>> members(
+            groups.records.data() + groups.group_starts[g],
+            groups.group_size(g));
+        link_group({links, members, root_u.data(), root_v.data(),
+                    arcs.data()});
+      },
+      1);
+}
+
+// One cut arc occurrence: its tour position (taken before any split), the
+// arc node itself, and which batch cut it belongs to (for pair matching).
+struct treap_ett::cut_mark {
+  size_t rank;
+  node* arc;
+  uint32_t cut;
+};
+
+void treap_ett::cut_tree(std::span<cut_mark> marks) {
+  // Peel the tour left to right at every mark: segments S0 M1 S1 ... Mm Sm
+  // (segments may be empty). The two arcs of one cut edge delimit the
+  // subtree's interval and intervals of distinct cuts nest, so a stack of
+  // open cuts assigns each segment to its resulting tour; each tour is then
+  // rebuilt with one join reduction. Like link groups, cut trees are
+  // numerous and mostly tiny, so the single-cut case is a straight-line
+  // fast path and the general case avoids per-tour containers.
+  std::sort(
+      marks.begin(), marks.end(),
+      [](const cut_mark& a, const cut_mark& b) { return a.rank < b.rank; });
+  size_t m = marks.size();
+  if (m == 2) {
+    // One cut: tour = S0 a S1 b S2  ->  trees (S0 S2) and (S1).
+    assert(marks[0].cut == marks[1].cut);
+    auto [s0, r0] = split_before(marks[0].arc);
+    (void)r0;
+    auto [a0, r1] = split_after(marks[0].arc);
+    (void)a0;
+    (void)r1;
+    auto [s1, r2] = split_before(marks[1].arc);
+    (void)r2;
+    auto [b0, s2] = split_after(marks[1].arc);
+    (void)b0;
+    (void)s1;  // the inner tour already stands alone
+    merge(s0, s2);
+    free_node(marks[0].arc);
+    free_node(marks[1].arc);
+    return;
+  }
+
+  std::vector<node*> segs(m + 1);
+  node* tail = nullptr;
+  for (size_t j = 0; j < m; ++j) {
+    auto [seg, rest] = split_before(marks[j].arc);
+    (void)rest;
+    segs[j] = seg;
+    auto [arc, after] = split_after(marks[j].arc);
+    assert(arc == marks[j].arc);
+    (void)arc;
+    tail = after;
+  }
+  segs[m] = tail;
+
+  // Nesting means a cut's closing arc can only appear while its opening
+  // arc is the innermost open one, so matching needs no map — just compare
+  // against the top of the open stack.
+  size_t num_tours = m / 2 + 1;
+  std::vector<uint32_t> tour_of(m + 1);
+  std::vector<std::pair<uint32_t, uint32_t>> open_stack;  // (cut, tour)
+  open_stack.reserve(m / 2);
+  tour_of[0] = 0;
+  uint32_t next_tour = 1;
+  for (size_t j = 0; j < m; ++j) {
+    if (!open_stack.empty() && open_stack.back().first == marks[j].cut) {
+      open_stack.pop_back();
+    } else {
+      open_stack.push_back({marks[j].cut, next_tour++});
+    }
+    tour_of[j + 1] = open_stack.empty() ? 0 : open_stack.back().second;
+  }
+  assert(open_stack.empty() && "unmatched cut arc");
+  assert(next_tour == num_tours);
+  for (const cut_mark& mk : marks) free_node(mk.arc);
+
+  // Bucket the segments by tour (order-preserving), then join each tour.
+  std::vector<uint32_t> offsets(num_tours + 1, 0);
+  for (size_t j = 0; j <= m; ++j)
+    if (segs[j] != nullptr) ++offsets[tour_of[j] + 1];
+  for (size_t t = 0; t < num_tours; ++t) offsets[t + 1] += offsets[t];
+  std::vector<node*> flat(offsets[num_tours]);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t j = 0; j <= m; ++j)
+      if (segs[j] != nullptr) flat[cursor[tour_of[j]]++] = segs[j];
+  }
+  parallel_for(
+      0, num_tours,
+      [&](size_t t) {
+        join_all(std::span<node* const>{flat.data() + offsets[t],
+                                        flat.data() + offsets[t + 1]});
+      },
+      1);
 }
 
 void treap_ett::batch_cut(std::span<const edge> cuts) {
-  for (const edge& e : cuts) cut(e.u, e.v);
+  size_t c = cuts.size();
+  if (c < kParallelMutationCutoff || num_workers() <= 1) {
+    for (const edge& e : cuts) cut(e.u, e.v);
+    return;
+  }
+
+  // Phase 1 (read-only, parallel): resolve every cut edge's arc pair, its
+  // tour root, and both arcs' tour positions while the forest is
+  // unchanged, writing straight into the (root, mark) records the
+  // semisort groups.
+  std::vector<std::pair<uint64_t, cut_mark>> keyed(2 * c);
+  std::vector<uint64_t> keys(c);
+  parallel_for(0, c, [&](size_t i) {
+    uint64_t key = edge_key(cuts[i].canonical());
+    keys[i] = key;
+    const arc_nodes* an = arcs_.find(key);
+    assert(an != nullptr && "batch_cut: edge not in forest");
+    uint64_t root_key =
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(root_of(an->fwd)));
+    uint32_t ci = static_cast<uint32_t>(i);
+    keyed[2 * i] = {root_key, {rank_of(an->fwd), an->fwd, ci}};
+    keyed[2 * i + 1] = {root_key, {rank_of(an->rev), an->rev, ci}};
+  });
+
+  // Phase 2 (parallel): drop the arc records (distinct-key erases).
+  arcs_.erase_batch(keys);
+
+  // Phase 3: group marks by tour, then rebuild disjoint tours concurrently.
+  auto groups = group_by_key(std::move(keyed));
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t g) {
+        size_t sz = groups.group_size(g);
+        if (sz == 2) {  // single cut in this tour: no heap traffic
+          cut_mark two[2] = {groups.records[groups.group_starts[g]].second,
+                             groups.records[groups.group_starts[g] + 1].second};
+          cut_tree(two);
+          return;
+        }
+        std::vector<cut_mark> tree_marks(sz);
+        for (size_t j = 0; j < sz; ++j)
+          tree_marks[j] = groups.records[groups.group_starts[g] + j].second;
+        cut_tree(tree_marks);
+      },
+      1);
 }
 
 void treap_ett::batch_add_counts(std::span<const count_delta> deltas) {
-  for (const count_delta& d : deltas)
-    add_counts(d.v, d.tree_delta, d.nontree_delta);
+  size_t k = deltas.size();
+  if (k < kParallelMutationCutoff || num_workers() <= 1) {
+    for (const count_delta& d : deltas)
+      add_counts(d.v, d.tree_delta, d.nontree_delta);
+    return;
+  }
+  // Root-path updates of vertices in one tour overlap near the root, so
+  // grouping by tour gives the safe parallelism: disjoint tours update
+  // concurrently, entries within a tour stay sequential.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed(k);
+  parallel_for(0, k, [&](size_t i) {
+    keyed[i] = {static_cast<uint64_t>(
+                    reinterpret_cast<uintptr_t>(root_of(sentinel_[deltas[i].v]))),
+                static_cast<uint32_t>(i)};
+  });
+  auto groups = group_by_key(std::move(keyed));
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t g) {
+        for (size_t j = groups.group_starts[g]; j < groups.group_starts[g + 1];
+             ++j) {
+          const count_delta& d = deltas[groups.records[j].second];
+          add_counts(d.v, d.tree_delta, d.nontree_delta);
+        }
+      },
+      1);
 }
 
 bool treap_ett::connected(vertex_id u, vertex_id v) const {
@@ -360,13 +772,24 @@ std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
 }
 
 std::string treap_ett::check_consistency() const {
+  // Vertex at which the tour enters (head) / leaves (tail) a node.
+  auto tail_of = [](const node* x) {
+    return static_cast<vertex_id>((x->tag & kArcBit) == 0
+                                      ? x->tag
+                                      : (x->tag >> 31) & 0xffffffffull);
+  };
+  auto head_of = [](const node* x) {
+    return static_cast<vertex_id>((x->tag & kArcBit) == 0
+                                      ? x->tag
+                                      : x->tag & 0x7fffffffull);
+  };
   // Validate every treap reachable from a sentinel.
   std::unordered_map<node*, bool> seen_root;
   for (node* s : sentinel_) {
     node* root = root_of(s);
     if (seen_root.count(root)) continue;
     seen_root[root] = true;
-    // Recursive structural check.
+    // Structural check (heap order, parent pointers, aggregates).
     std::vector<node*> stack{root};
     ett_counts total{};
     uint32_t nodes = 0;
@@ -389,6 +812,62 @@ std::string treap_ett::check_consistency() const {
     // Tour shape: k vertices, 2(k-1) arcs.
     if (root->subtree_nodes != 3 * total.vertices - 2)
       return "tour length mismatch";
+    // Tour orientation: the in-order sequence must be a closed Euler walk —
+    // consecutive nodes (cyclically) agree on the vertex between them, each
+    // sentinel is the registered node for its vertex, each arc node is one
+    // of the two registered arcs of a present tree edge, and counters live
+    // only on sentinels. Bulk link/cut rebuilds splice tours from dozens of
+    // segments, so a misplaced segment shows up here even when the treap
+    // shape itself is healthy.
+    std::vector<const node*> tour;
+    tour.reserve(root->subtree_nodes);
+    std::vector<std::pair<const node*, bool>> walk{{root, false}};
+    while (!walk.empty()) {
+      auto [x, expanded] = walk.back();
+      walk.pop_back();
+      if (x == nullptr) continue;
+      if (expanded) {
+        tour.push_back(x);
+      } else {
+        walk.push_back({x->right, false});
+        walk.push_back({x, true});
+        walk.push_back({x->left, false});
+      }
+    }
+    auto describe = [&](const node* x) {
+      return (x->tag & kArcBit) == 0
+                 ? "s" + std::to_string(tail_of(x))
+                 : std::to_string(tail_of(x)) + "->" +
+                       std::to_string(head_of(x));
+    };
+    for (size_t i = 0; i < tour.size(); ++i) {
+      const node* x = tour[i];
+      const node* next = tour[(i + 1) % tour.size()];
+      if (head_of(x) != tail_of(next)) {
+        std::string msg = "tour orientation broken at position " +
+                          std::to_string(i) + ": " + describe(x) + " then " +
+                          describe(next);
+        if (tour.size() <= 120) {
+          msg += " [tour:";
+          for (const node* t : tour) msg += " " + describe(t);
+          msg += "]";
+        }
+        return msg;
+      }
+      if ((x->tag & kArcBit) == 0) {
+        if (x->tag >= sentinel_.size() ||
+            sentinel_[static_cast<size_t>(x->tag)] != x)
+          return "sentinel identity mismatch";
+      } else {
+        if (x->own.vertices != 0 || x->own.tree_edges != 0 ||
+            x->own.nontree_edges != 0)
+          return "counters on an arc node";
+        edge e{tail_of(x), head_of(x)};
+        const arc_nodes* an = arcs_.find(edge_key(e.canonical()));
+        if (an == nullptr) return "arc node for an unregistered edge";
+        if (an->fwd != x && an->rev != x) return "arc node identity mismatch";
+      }
+    }
   }
   // Every arc pair registered in the map must hang under some sentinel's
   // root (i.e. was visited above). Sequential walk: for_each fans out

@@ -9,15 +9,26 @@
 // sentinel nodes) to support the HDT searches.
 //
 // As an `ett_substrate`, mutation batches (batch_link / batch_cut /
-// batch_add_counts) run as sequential loops over the treap primitives —
-// the batch preconditions (acyclic link batches, present distinct cuts)
-// make any sequential order valid — while the read-only batch queries
-// (batch_connected, batch_find_rep) fan out across scheduler workers,
-// since concurrent root walks on an unchanging treap are safe. It shares
-// no code with the skip-list forest, so the two substrates cross-validate
-// each other in the parameterized test suites; the sequential HDT baseline
-// (`hdt_connectivity`) additionally drives the per-edge primitives
-// (link/cut/add_counts/find_*_slot) directly.
+// batch_add_counts) are parallel join-based bulk operations in the style
+// of Blelloch–Ferizovic–Sun joins as used for batch-dynamic trees by Acar
+// et al. (2020): a read-only phase finds each touched tour's root, a
+// union-find over roots partitions the batch into groups touching disjoint
+// tours, and groups proceed concurrently under the scheduler. Within a
+// group the affected tours are split once per batch boundary and rebuilt
+// with a balanced divide-and-conquer join reduction (fork_join_reduce)
+// instead of node-at-a-time merging, so a single giant component also gets
+// intra-tour parallelism. New arc priorities are drawn from a counter
+// range reserved before the parallel phase, keeping the structure
+// deterministic for a given (seed, batch history). Small batches (or a
+// 1-worker pool) fall back to the sequential split/merge loop. Read-only
+// batch queries (batch_connected, batch_find_rep) fan out across workers,
+// since concurrent root walks on an unchanging treap are safe.
+//
+// The treap forest shares no code with the skip-list forest, so the two
+// substrates cross-validate each other in the parameterized test and fuzz
+// suites; the sequential HDT baseline (`hdt_connectivity`) additionally
+// drives the per-edge primitives (link/cut/add_counts/find_*_slot)
+// directly.
 //
 // Node storage comes from the shared per-worker pool (util/node_pool.hpp):
 // cut arcs are recycled by later links, and teardown drops whole blocks
@@ -25,7 +36,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ett/ett_substrate.hpp"
@@ -116,11 +129,18 @@ class treap_ett final : public ett_substrate {
   };
 
   node* make_node(uint64_t tag);
+  /// Pool-allocates a node with an explicit priority (parallel batch paths
+  /// draw priorities from a counter range reserved up front, so workers
+  /// never touch the shared counter).
+  node* make_node_with_priority(uint64_t tag, uint64_t priority);
   void free_node(node* x);
   static void update(node* x);
   [[nodiscard]] static node* root_of(node* x);
   /// Merges two treap sequences (all of a before all of b).
   static node* merge(node* a, node* b);
+  /// Joins an ordered list of treap segments (nullptr entries allowed) into
+  /// one sequence via a balanced divide-and-conquer join reduction.
+  static node* join_all(std::span<node* const> segs);
   /// Splits so that x begins the right part. Returns {left, right}.
   static std::pair<node*, node*> split_before(node* x);
   /// Splits so that x ends the left part. Returns {left, right}.
@@ -132,6 +152,16 @@ class treap_ett final : public ett_substrate {
 
   [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_counted(
       vertex_id v, uint64_t want, bool nontree) const;
+
+  /// Parallel bulk-mutation internals (see treap_ett.cpp for the phase
+  /// structure). Each rebuilds the tours touched by one independent group.
+  struct link_group_ctx;
+  struct cut_mark;
+  void link_group(const link_group_ctx& ctx);
+  void cut_tree(std::span<cut_mark> marks);
+  /// Batches below this size (or a 1-worker pool) take the sequential
+  /// split/merge loop; grouping overhead would dominate.
+  static constexpr size_t kParallelMutationCutoff = 16;
 
   random rng_;
   uint64_t counter_ = 0;

@@ -2,9 +2,15 @@
 // graph shapes and batch regimes, driven in lock-step with a union-find
 // recompute oracle AND the independent sequential HDT implementation.
 // Invariants are re-validated after every batch.
+//
+// Every scenario runs at three worker-pool sizes — 1, 2, and the hardware
+// default — because scheduler-dependent bugs (racy batch phases, grouping
+// that silently assumes one worker) only surface when the pool actually
+// forks, and CI machines default to whatever nproc happens to be.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -12,10 +18,15 @@
 #include "gen/graph_gen.hpp"
 #include "hdt/hdt_connectivity.hpp"
 #include "spanning/union_find.hpp"
+#include "test_workers.hpp"
 #include "util/random.hpp"
 
 namespace bdc {
 namespace {
+
+using ::bdc::testing::kWorkerGrid;
+using ::bdc::testing::worker_pool_guard;
+using ::bdc::testing::workers_name;
 
 struct scenario {
   level_search_kind engine;
@@ -25,10 +36,12 @@ struct scenario {
   uint64_t seed;
 };
 
-class PropertySweep : public ::testing::TestWithParam<scenario> {};
+class PropertySweep
+    : public ::testing::TestWithParam<std::tuple<scenario, unsigned>> {};
 
 TEST_P(PropertySweep, OracleLockstep) {
-  const scenario sc = GetParam();
+  const scenario sc = std::get<0>(GetParam());
+  worker_pool_guard pool(std::get<1>(GetParam()));
   const vertex_id n = static_cast<vertex_id>(sc.n);
   random_stream rs(sc.seed);
   options o;
@@ -92,25 +105,35 @@ TEST_P(PropertySweep, OracleLockstep) {
 
 INSTANTIATE_TEST_SUITE_P(
     Scenarios, PropertySweep,
-    ::testing::Values(
-        scenario{level_search_kind::interleaved, 60, 25, 80, 101},
-        scenario{level_search_kind::interleaved, 200, 20, 70, 102},
-        scenario{level_search_kind::interleaved, 500, 12, 60, 103},
-        scenario{level_search_kind::simple, 60, 25, 80, 104},
-        scenario{level_search_kind::simple, 200, 20, 70, 105},
-        scenario{level_search_kind::simple, 500, 12, 60, 106},
-        scenario{level_search_kind::scan_all, 60, 20, 80, 107},
-        scenario{level_search_kind::scan_all, 200, 15, 70, 108},
-        scenario{level_search_kind::interleaved, 17, 30, 75, 109},
-        scenario{level_search_kind::simple, 17, 30, 75, 110}));
+    ::testing::Combine(
+        ::testing::Values(
+            scenario{level_search_kind::interleaved, 60, 25, 80, 101},
+            scenario{level_search_kind::interleaved, 200, 20, 70, 102},
+            scenario{level_search_kind::interleaved, 500, 12, 60, 103},
+            scenario{level_search_kind::simple, 60, 25, 80, 104},
+            scenario{level_search_kind::simple, 200, 20, 70, 105},
+            scenario{level_search_kind::simple, 500, 12, 60, 106},
+            scenario{level_search_kind::scan_all, 60, 20, 80, 107},
+            scenario{level_search_kind::scan_all, 200, 15, 70, 108},
+            scenario{level_search_kind::interleaved, 17, 30, 75, 109},
+            scenario{level_search_kind::simple, 17, 30, 75, 110}),
+        ::testing::ValuesIn(kWorkerGrid)),
+    [](const ::testing::TestParamInfo<std::tuple<scenario, unsigned>>& info) {
+      const scenario& sc = std::get<0>(info.param);
+      return "seed" + std::to_string(sc.seed) + "_w" +
+             workers_name(std::get<1>(info.param));
+    });
 
 // Structured stress: repeatedly shatter a dense random graph with very
 // large deletion batches (the regime Theorem 9 targets).
-class ShatterSweep : public ::testing::TestWithParam<level_search_kind> {};
+class ShatterSweep
+    : public ::testing::TestWithParam<std::tuple<level_search_kind, unsigned>> {
+};
 
 TEST_P(ShatterSweep, LargeBatchLifecycle) {
   options o;
-  o.search = GetParam();
+  o.search = std::get<0>(GetParam());
+  worker_pool_guard pool(std::get<1>(GetParam()));
   const vertex_id n = 256;
   batch_dynamic_connectivity dc(n, o);
   for (int cycle = 0; cycle < 3; ++cycle) {
@@ -132,10 +155,18 @@ TEST_P(ShatterSweep, LargeBatchLifecycle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Engines, ShatterSweep,
-                         ::testing::Values(level_search_kind::interleaved,
-                                           level_search_kind::simple,
-                                           level_search_kind::scan_all));
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ShatterSweep,
+    ::testing::Combine(::testing::Values(level_search_kind::interleaved,
+                                         level_search_kind::simple,
+                                         level_search_kind::scan_all),
+                       ::testing::ValuesIn(kWorkerGrid)),
+    [](const ::testing::TestParamInfo<std::tuple<level_search_kind, unsigned>>&
+           info) {
+      return "engine" +
+             std::to_string(static_cast<int>(std::get<0>(info.param))) + "_w" +
+             workers_name(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace bdc

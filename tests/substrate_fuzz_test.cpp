@@ -1,0 +1,274 @@
+// Differential fuzz suite for the Euler-tour substrates.
+//
+// Long randomized mixed link/cut/count/query streams are driven directly
+// against the ett_substrate surface and checked two independent ways:
+//
+//   * OracleLockstep — every round's query batch is verified against a
+//     union-find oracle REBUILT from scratch from the current tree-edge
+//     set, so an oracle bug cannot track a substrate bug.
+//   * CrossSubstrate — the skip-list and treap forests (which share no
+//     code) replay identical batch streams and must agree on every query,
+//     edge count, and component size.
+//
+// The grid is {substrate} x {workers: 1, 2, hardware} x {batch size}, and
+// every stream seed is a deterministic function of those parameters, so a
+// failure's SCOPED_TRACE line is a one-line repro: rerun that exact test
+// name. The sweep is widened in CI (and locally) through two environment
+// knobs:
+//
+//   BDC_FUZZ_ROUNDS  rounds per stream        (default 25)
+//   BDC_FUZZ_SEEDS   streams per parameter set (default 2)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ett/ett_substrate.hpp"
+#include "spanning/union_find.hpp"
+#include "test_workers.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+using ::bdc::testing::worker_pool_guard;
+using ::bdc::testing::workers_name;
+
+int env_knob(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+int fuzz_rounds() { return env_knob("BDC_FUZZ_ROUNDS", 25); }
+int fuzz_seeds() { return env_knob("BDC_FUZZ_SEEDS", 2); }
+
+struct fuzz_params {
+  substrate sub;      // OracleLockstep only; CrossSubstrate drives both
+  unsigned workers;   // 0 = the default (hardware) pool
+  size_t batch;
+};
+
+// One mutation/query round state: the present tree edges plus generators.
+struct stream_state {
+  vertex_id n;
+  random_stream rs;
+  std::set<std::pair<vertex_id, vertex_id>> present;
+
+  explicit stream_state(vertex_id n_, uint64_t seed) : n(n_), rs(seed) {}
+
+  // A batch of links that is acyclic against the current forest AND within
+  // itself, never already present, no self loops — the batch_link
+  // preconditions the level structure guarantees in production.
+  std::vector<edge> next_links(size_t want) {
+    union_find acyclic(n);
+    for (const auto& pe : present) acyclic.unite(pe.first, pe.second);
+    std::vector<edge> links;
+    for (size_t t = 0; t < 20 * want && links.size() < want; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      if (u == v || !acyclic.unite(u, v)) continue;
+      links.push_back({u, v});
+      present.insert({edge{u, v}.canonical().u, edge{u, v}.canonical().v});
+    }
+    return links;
+  }
+
+  // A batch of distinct present tree edges (partial Fisher–Yates sample).
+  std::vector<edge> next_cuts(size_t want) {
+    std::vector<std::pair<vertex_id, vertex_id>> pool(present.begin(),
+                                                      present.end());
+    size_t take = std::min(want, pool.size());
+    std::vector<edge> cuts;
+    for (size_t i = 0; i < take; ++i) {
+      size_t j = i + static_cast<size_t>(rs.next(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      cuts.push_back({pool[i].first, pool[i].second});
+      present.erase(pool[i]);
+    }
+    return cuts;
+  }
+
+  std::vector<std::pair<vertex_id, vertex_id>> next_queries(size_t count) {
+    std::vector<std::pair<vertex_id, vertex_id>> qs(count);
+    for (auto& q : qs)
+      q = {static_cast<vertex_id>(rs.next(n)),
+           static_cast<vertex_id>(rs.next(n))};
+    return qs;
+  }
+};
+
+vertex_id n_for_batch(size_t batch) {
+  size_t n = 8 * batch;
+  return static_cast<vertex_id>(std::min<size_t>(std::max<size_t>(n, 128),
+                                                 4096));
+}
+
+// ---------------------------------------------------------------------
+// Union-find rebuild oracle.
+// ---------------------------------------------------------------------
+
+class OracleLockstep : public ::testing::TestWithParam<fuzz_params> {};
+
+TEST_P(OracleLockstep, MixedStream) {
+  const fuzz_params p = GetParam();
+  worker_pool_guard pool(p.workers);
+  const vertex_id n = n_for_batch(p.batch);
+  const int rounds = fuzz_rounds();
+  for (int s = 0; s < fuzz_seeds(); ++s) {
+    uint64_t seed = hash_combine(
+        hash_combine(static_cast<uint64_t>(p.sub) + 1, p.workers * 131 + 7),
+        p.batch * 1009 + static_cast<uint64_t>(s));
+    SCOPED_TRACE("repro: substrate=" + std::string(to_string(p.sub)) +
+                 " workers=" + workers_name(p.workers) +
+                 " batch=" + std::to_string(p.batch) +
+                 " seed_index=" + std::to_string(s) + " stream_seed=" +
+                 std::to_string(seed) +
+                 " (widen with BDC_FUZZ_SEEDS / BDC_FUZZ_ROUNDS)");
+    auto f = make_ett(p.sub, n, seed ^ 0x5eed);
+    stream_state st(n, seed);
+    for (int round = 0; round < rounds; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      // Mutate: a link batch, then (on alternating rounds, so the forest
+      // grows as well as churns) a cut batch.
+      auto links = st.next_links(1 + st.rs.next(p.batch));
+      f->batch_link(links);
+      ASSERT_EQ(f->check_consistency(), "") << "after batch_link";
+      if (round % 2 == 1) {
+        auto cuts = st.next_cuts(1 + st.rs.next(p.batch));
+        f->batch_cut(cuts);
+        ASSERT_EQ(f->check_consistency(), "") << "after batch_cut";
+      }
+      ASSERT_EQ(f->num_edges(), st.present.size());
+
+      // Counter churn: push per-vertex non-tree counts up, verify the
+      // component sums and the fetch contract, then restore to zero.
+      std::vector<ett_substrate::count_delta> up;
+      for (vertex_id v = 0; v < n; v += 1 + n / 64) up.push_back({v, 0, 3});
+      f->batch_add_counts(up);
+      ASSERT_EQ(f->check_consistency(), "") << "after batch_add_counts";
+
+      // Oracle rebuilt from scratch: query agreement + component sizes.
+      union_find oracle(n);
+      for (const auto& pe : st.present) oracle.unite(pe.first, pe.second);
+      auto qs = st.next_queries(2 * p.batch + 16);
+      auto got = f->batch_connected(qs);
+      for (size_t q = 0; q < qs.size(); ++q) {
+        ASSERT_EQ(got[q], oracle.connected(qs[q].first, qs[q].second))
+            << "query " << qs[q].first << "," << qs[q].second;
+      }
+      std::vector<uint32_t> comp_size(n, 0);
+      for (vertex_id v = 0; v < n; ++v) ++comp_size[oracle.find(v)];
+      for (int probe = 0; probe < 8; ++probe) {
+        vertex_id v = static_cast<vertex_id>(st.rs.next(n));
+        auto cc = f->component_counts(v);
+        ASSERT_EQ(cc.vertices, comp_size[oracle.find(v)]) << "vertex " << v;
+        // Every sampled vertex in this component contributes 3 non-tree
+        // slots; fetch must surface exactly min(want, total).
+        auto fetched = f->fetch_nontree(v, cc.nontree_edges + 10);
+        uint64_t sum = 0;
+        for (const auto& [x, take] : fetched) {
+          ASSERT_TRUE(oracle.connected(v, x));
+          sum += take;
+        }
+        ASSERT_EQ(sum, cc.nontree_edges);
+      }
+      for (auto& d : up) d.nontree_delta = -d.nontree_delta;
+      f->batch_add_counts(up);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OracleLockstep,
+    ::testing::Values(
+        fuzz_params{substrate::skiplist, 1, 4},
+        fuzz_params{substrate::skiplist, 1, 64},
+        fuzz_params{substrate::skiplist, 2, 32},
+        fuzz_params{substrate::skiplist, 2, 256},
+        fuzz_params{substrate::skiplist, 0, 64},
+        fuzz_params{substrate::skiplist, 0, 256},
+        fuzz_params{substrate::treap, 1, 4},
+        fuzz_params{substrate::treap, 1, 64},
+        fuzz_params{substrate::treap, 2, 32},
+        fuzz_params{substrate::treap, 2, 256},
+        fuzz_params{substrate::treap, 0, 64},
+        fuzz_params{substrate::treap, 0, 256}),
+    [](const ::testing::TestParamInfo<fuzz_params>& info) {
+      return std::string(to_string(info.param.sub)) + "_w" +
+             workers_name(info.param.workers) + "_b" +
+             std::to_string(info.param.batch);
+    });
+
+// ---------------------------------------------------------------------
+// Cross-substrate differential: skiplist vs treap on identical streams.
+// ---------------------------------------------------------------------
+
+class CrossSubstrate
+    : public ::testing::TestWithParam<std::pair<unsigned, size_t>> {};
+
+TEST_P(CrossSubstrate, IdenticalStreams) {
+  const auto [workers, batch] = GetParam();
+  worker_pool_guard pool(workers);
+  const vertex_id n = n_for_batch(batch);
+  const int rounds = fuzz_rounds();
+  for (int s = 0; s < fuzz_seeds(); ++s) {
+    uint64_t seed = hash_combine(workers * 977 + 3, batch * 31 + 11) +
+                    static_cast<uint64_t>(s);
+    SCOPED_TRACE("repro: cross workers=" + workers_name(workers) +
+                 " batch=" + std::to_string(batch) + " seed_index=" +
+                 std::to_string(s) + " stream_seed=" + std::to_string(seed));
+    auto a = make_ett(substrate::skiplist, n, seed ^ 0xa);
+    auto b = make_ett(substrate::treap, n, seed ^ 0xb);
+    stream_state st(n, seed);
+    for (int round = 0; round < rounds; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      auto links = st.next_links(1 + st.rs.next(batch));
+      a->batch_link(links);
+      b->batch_link(links);
+      if (round % 2 == 1) {
+        auto cuts = st.next_cuts(1 + st.rs.next(batch));
+        a->batch_cut(cuts);
+        b->batch_cut(cuts);
+      }
+      ASSERT_EQ(a->num_edges(), b->num_edges());
+      auto qs = st.next_queries(2 * batch + 16);
+      auto got_a = a->batch_connected(qs);
+      auto got_b = b->batch_connected(qs);
+      for (size_t q = 0; q < qs.size(); ++q) {
+        ASSERT_EQ(got_a[q], got_b[q])
+            << "query " << qs[q].first << "," << qs[q].second;
+      }
+      for (int probe = 0; probe < 8; ++probe) {
+        vertex_id v = static_cast<vertex_id>(st.rs.next(n));
+        ASSERT_EQ(a->component_counts(v).vertices,
+                  b->component_counts(v).vertices)
+            << "vertex " << v;
+      }
+      if (round % 5 == 4) {
+        ASSERT_EQ(a->check_consistency(), "");
+        ASSERT_EQ(b->check_consistency(), "");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossSubstrate,
+    ::testing::Values(std::pair<unsigned, size_t>{1, 32},
+                      std::pair<unsigned, size_t>{1, 256},
+                      std::pair<unsigned, size_t>{2, 64},
+                      std::pair<unsigned, size_t>{2, 256},
+                      std::pair<unsigned, size_t>{0, 32},
+                      std::pair<unsigned, size_t>{0, 64},
+                      std::pair<unsigned, size_t>{0, 256}),
+    [](const ::testing::TestParamInfo<std::pair<unsigned, size_t>>& info) {
+      return "w" + workers_name(info.param.first) + "_b" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace bdc

@@ -1,0 +1,44 @@
+// Shared test helper: running a test body under a specific scheduler
+// worker-pool size, restoring the previous pool afterwards. Used by the
+// suites that value-parameterize over worker counts so scheduler-dependent
+// races cannot hide behind whatever nproc the test machine happens to
+// have.
+#pragma once
+
+#include <string>
+
+#include "parallel/scheduler.hpp"
+
+namespace bdc::testing {
+
+// The "hardware" worker count of this run (BDC_NUM_WORKERS or hardware
+// concurrency), captured before any test can resize the pool. Safe at
+// static init: num_workers() bootstraps the scheduler singleton on first
+// use.
+inline const unsigned kDefaultWorkers = num_workers();
+
+// Worker counts the parameterized suites cross with (0 = hardware
+// default, resolved through kDefaultWorkers).
+inline constexpr unsigned kWorkerGrid[] = {1, 2, 0};
+
+inline std::string workers_name(unsigned w) {
+  return w == 0 ? "hw" : std::to_string(w);
+}
+
+// RAII pool resize. set_num_workers may only run with no parallel work in
+// flight, which holds between gtest cases.
+class worker_pool_guard {
+ public:
+  explicit worker_pool_guard(unsigned workers) : saved_(num_workers()) {
+    set_num_workers(workers == 0 ? kDefaultWorkers : workers);
+  }
+  ~worker_pool_guard() { set_num_workers(saved_); }
+
+  worker_pool_guard(const worker_pool_guard&) = delete;
+  worker_pool_guard& operator=(const worker_pool_guard&) = delete;
+
+ private:
+  unsigned saved_;
+};
+
+}  // namespace bdc::testing

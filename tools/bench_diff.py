@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON artifacts and flag regressions.
+
+CI uploads ``BENCH_substrates.json`` per commit; this script compares the
+current run against the previous commit's artifact and reports every
+benchmark whose real time regressed by more than the threshold (default
+10%). Exit status is 0 when clean, 1 on regression (with ``--no-fail`` the
+report still prints but the exit status stays 0 — useful on noisy shared
+runners where the trajectory matters more than any single datapoint).
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT] [--no-fail]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Maps benchmark name -> real_time (ns) for one artifact."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of repeated runs) would double
+        # count; keep plain iteration rows only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real = bench.get("real_time")
+        if name is None or real is None:
+            continue
+        out[name] = float(real)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="previous BENCH_*.json artifact")
+    parser.add_argument("new", help="current BENCH_*.json artifact")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression threshold in percent (default: 10)",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="report regressions but exit 0 (for noisy runners)",
+    )
+    args = parser.parse_args()
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    regressions = []
+    improvements = []
+    for name in common:
+        if old[name] <= 0:
+            continue
+        delta_pct = 100.0 * (new[name] - old[name]) / old[name]
+        if delta_pct > args.threshold:
+            regressions.append((name, old[name], new[name], delta_pct))
+        elif delta_pct < -args.threshold:
+            improvements.append((name, old[name], new[name], delta_pct))
+
+    print(f"bench_diff: {len(common)} comparable benchmarks "
+          f"({len(only_new)} new, {len(only_old)} removed), "
+          f"threshold {args.threshold:.1f}%")
+    for name, o, n, pct in improvements:
+        print(f"  IMPROVED  {name}: {o:.0f} -> {n:.0f} ns ({pct:+.1f}%)")
+    for name, o, n, pct in regressions:
+        print(f"  REGRESSED {name}: {o:.0f} -> {n:.0f} ns ({pct:+.1f}%)")
+    if only_new:
+        print("  new benchmarks: " + ", ".join(only_new))
+    if only_old:
+        print("  removed benchmarks: " + ", ".join(only_old))
+    if not regressions:
+        print("  no regressions beyond threshold")
+        return 0
+    return 0 if args.no_fail else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
