@@ -4,13 +4,18 @@
 //     [24], parallel dictionary [23], spanning forest [22], scan/pack
 //     [34]) should show flat-ish per-element costs as input size grows.
 //
-//  2. Head-to-head Euler-tour substrate A/B (skiplist vs treap) on the
-//     identical batch_link / batch_cut / batch_connected workloads, plus
-//     pooled vs heap node allocation. Every substrate benchmark takes the
-//     substrate as its first argument (0 = skiplist, 1 = treap), so a
-//     single JSON run yields the full comparison matrix.
+//  2. Head-to-head Euler-tour substrate A/B (skiplist vs treap vs
+//     blocked) on the identical batch_link / batch_cut / batch_connected
+//     workloads, plus pooled vs heap node allocation. Every substrate
+//     benchmark takes the substrate as its first argument (0 = skiplist,
+//     1 = treap, 2 = blocked), so a single JSON run yields the full
+//     comparison matrix. BM_SubstrateSmallComponents isolates the
+//     small-component regime the blocked substrate targets, and
+//     BM_LevelPolicyStream runs the full dynamic structure under uniform
+//     and mixed per-level substrate configurations.
 #include <benchmark/benchmark.h>
 
+#include "core/batch_connectivity.hpp"
 #include "ett/ett_substrate.hpp"
 #include "gen/graph_gen.hpp"
 #include "gen/update_stream.hpp"
@@ -75,15 +80,22 @@ static void BM_ScanPack(benchmark::State& state) {
 BENCHMARK(BM_ScanPack)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 // ---------------------------------------------------------------------
-// Euler-tour substrate A/B. Arg(0): substrate (0 = skiplist, 1 = treap);
-// Arg(1): batch size k.
+// Euler-tour substrate A/B. Arg(0): substrate (0 = skiplist, 1 = treap,
+// 2 = blocked); Arg(1): batch size k.
 // ---------------------------------------------------------------------
 
 namespace {
 constexpr vertex_id kEttN = 1 << 14;
 
 substrate substrate_of(const benchmark::State& state) {
-  return state.range(0) == 0 ? substrate::skiplist : substrate::treap;
+  switch (state.range(0)) {
+    case 1:
+      return substrate::treap;
+    case 2:
+      return substrate::blocked;
+    default:
+      return substrate::skiplist;
+  }
 }
 
 void set_substrate_label(benchmark::State& state) {
@@ -107,7 +119,7 @@ static void BM_SubstrateLinkCut(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_SubstrateLinkCut)
-    ->ArgsProduct({{0, 1}, {16, 256, 4096}})
+    ->ArgsProduct({{0, 1, 2}, {16, 256, 4096}})
     ->ArgNames({"substrate", "k"});
 
 static void BM_SubstrateBatchConnected(benchmark::State& state) {
@@ -122,7 +134,7 @@ static void BM_SubstrateBatchConnected(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(k) * state.iterations());
 }
 BENCHMARK(BM_SubstrateBatchConnected)
-    ->ArgsProduct({{0, 1}, {256, 4096, 65536}})
+    ->ArgsProduct({{0, 1, 2}, {256, 4096, 65536}})
     ->ArgNames({"substrate", "k"});
 
 static void BM_SubstrateCountsAndFetch(benchmark::State& state) {
@@ -144,7 +156,105 @@ static void BM_SubstrateCountsAndFetch(benchmark::State& state) {
 BENCHMARK(BM_SubstrateCountsAndFetch)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->ArgName("substrate");
+
+// ---------------------------------------------------------------------
+// The small-component regime (De Man et al. 2024): a forest of many
+// components of size S under intra-component link/cut churn plus
+// connectivity queries. This is where the HDT hierarchy's low levels
+// live (level i caps components at 2^(i+1)), i.e. the regime the
+// per-level policy hands to the blocked substrate. Arg(0): substrate;
+// Arg(1): component size S.
+// ---------------------------------------------------------------------
+
+static void BM_SubstrateSmallComponents(benchmark::State& state) {
+  size_t comp = static_cast<size_t>(state.range(1));
+  auto f = make_ett(substrate_of(state), kEttN, 19);
+  // Paths of `comp` vertices; cut/relink each component's middle edge.
+  std::vector<edge> middles;
+  for (vertex_id base = 0; base + comp <= kEttN;
+       base += static_cast<vertex_id>(comp)) {
+    std::vector<edge> path;
+    for (vertex_id i = 0; i + 1 < comp; ++i)
+      path.push_back({base + i, base + i + 1});
+    f->batch_link(path);
+    middles.push_back(path[path.size() / 2]);
+  }
+  // Cross-component queries (always disconnected: worst-case walks).
+  std::vector<std::pair<vertex_id, vertex_id>> qs(middles.size());
+  bdc::random qr(23);
+  for (size_t i = 0; i < qs.size(); ++i)
+    qs[i] = {static_cast<vertex_id>(qr.ith_rand(2 * i, kEttN)),
+             static_cast<vertex_id>(qr.ith_rand(2 * i + 1, kEttN))};
+  for (auto _ : state) {
+    f->batch_cut(middles);
+    f->batch_link(middles);
+    benchmark::DoNotOptimize(f->batch_connected(qs));
+  }
+  set_substrate_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(3 * middles.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SubstrateSmallComponents)
+    ->ArgsProduct({{0, 1, 2}, {4, 16, 64, 256}})
+    ->ArgNames({"substrate", "comp"});
+
+// ---------------------------------------------------------------------
+// Uniform vs mixed per-level policy on the full dynamic structure: one
+// deletion stream (insert + batched deletes + queries) replayed under
+// uniform skiplist (0), uniform blocked (1), and the mixed policy (2:
+// blocked below level 8, skip list above). Arg: config.
+// ---------------------------------------------------------------------
+
+static void BM_LevelPolicyStream(benchmark::State& state) {
+  const vertex_id n = 1 << 12;
+  auto graph = gen_erdos_renyi(n, 4 * n, 29);
+  auto stream = make_deletion_stream(graph, n, 512, 256, 128, 30);
+  options o;
+  const char* label = "skiplist";
+  switch (state.range(0)) {
+    case 1:
+      o.substrate = substrate::blocked;
+      label = "blocked";
+      break;
+    case 2:
+      o.substrate = substrate::skiplist;
+      o.policy = level_policy{8, substrate::blocked};
+      label = "mixed_blocked_lt8";
+      break;
+    default:
+      break;
+  }
+  size_t ops = 0;
+  for (auto _ : state) {
+    batch_dynamic_connectivity dc(n, o);
+    ops = 0;
+    for (const auto& b : stream) {
+      switch (b.op) {
+        case update_batch::kind::insert:
+          dc.batch_insert(b.edges);
+          ops += b.edges.size();
+          break;
+        case update_batch::kind::erase:
+          dc.batch_delete(b.edges);
+          ops += b.edges.size();
+          break;
+        case update_batch::kind::query:
+          benchmark::DoNotOptimize(dc.batch_connected(b.queries));
+          ops += b.queries.size();
+          break;
+      }
+    }
+  }
+  state.SetLabel(label);
+  state.SetItemsProcessed(static_cast<int64_t>(ops) * state.iterations());
+}
+BENCHMARK(BM_LevelPolicyStream)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("config");
 
 // ---------------------------------------------------------------------
 // Treap mutation scaling: the join-based bulk link/cut phases at several

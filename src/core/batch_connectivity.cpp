@@ -43,7 +43,7 @@ void dedupe(std::vector<edge>& es) { sort_unique(es); }
 
 batch_dynamic_connectivity::batch_dynamic_connectivity(vertex_id n,
                                                        options opts)
-    : opts_(opts), ls_(n, opts.seed, opts.substrate) {}
+    : opts_(opts), ls_(n, opts.seed, opts.substrate, opts.policy) {}
 
 // ---------------------------------------------------------------------
 // Queries (Algorithm 1)

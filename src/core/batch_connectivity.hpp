@@ -41,8 +41,14 @@ enum class level_search_kind {
 
 struct options {
   level_search_kind search = level_search_kind::interleaved;
-  /// Which Euler-tour substrate backs every level's spanning forest.
+  /// The primary Euler-tour substrate (every level, unless `policy`
+  /// overrides the low levels).
   bdc::substrate substrate = bdc::substrate::skiplist;
+  /// Per-level substrate mixing: levels below policy.threshold use
+  /// policy.low instead of `substrate` (e.g. the cache-packed blocked
+  /// representation where components are guaranteed tiny). The default
+  /// (threshold 0) is uniform.
+  level_policy policy;
   uint64_t seed = 0xbdc5eed;
 };
 
@@ -110,6 +116,17 @@ class batch_dynamic_connectivity {
 
   /// Access to the underlying hierarchy (benchmarks / diagnostics).
   [[nodiscard]] const level_structure& levels() const { return ls_; }
+
+  /// Aggregated node-pool counters across every materialized forest.
+  [[nodiscard]] node_pool::stats_snapshot pool_stats() const {
+    return ls_.pool_stats();
+  }
+  /// Releases retained pool memory of emptied forests (quiescence
+  /// required), keeping up to `keep_bytes` of spares per forest;
+  /// returns the total bytes released.
+  size_t trim_pools(size_t keep_bytes = 0) {
+    return ls_.trim_pools(keep_bytes);
+  }
 
  private:
   using rep = ett_substrate::rep;

@@ -9,8 +9,8 @@
 namespace bdc {
 
 level_structure::level_structure(vertex_id n, uint64_t seed,
-                                 bdc::substrate sub)
-    : n_(n), seed_(seed), substrate_(sub), dict_(256) {
+                                 bdc::substrate sub, level_policy policy)
+    : n_(n), seed_(seed), substrate_(sub), policy_(policy), dict_(256) {
   int levels = std::max(1, static_cast<int>(log2_ceil(std::max<uint64_t>(
                                2, static_cast<uint64_t>(n)))));
   levels_.resize(static_cast<size_t>(levels));
@@ -22,10 +22,24 @@ ett_substrate& level_structure::forest(int level) {
   auto& slot = levels_[static_cast<size_t>(level)].forest;
   if (!slot) {
     slot = make_ett(
-        substrate_, n_,
+        substrate_at(level), n_,
         hash_combine(seed_, 0x10000u + static_cast<uint64_t>(level)));
   }
   return *slot;
+}
+
+node_pool::stats_snapshot level_structure::pool_stats() const {
+  node_pool::stats_snapshot total;
+  for (const level_state& ls : levels_)
+    if (ls.forest) total += ls.forest->pool_stats();
+  return total;
+}
+
+size_t level_structure::trim_pools(size_t keep_bytes) {
+  size_t released = 0;
+  for (level_state& ls : levels_)
+    if (ls.forest) released += ls.forest->trim_pool(keep_bytes);
+  return released;
 }
 
 leveled_adjacency& level_structure::adj(int level) {

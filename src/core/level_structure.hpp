@@ -24,10 +24,25 @@
 
 namespace bdc {
 
+/// Per-level substrate mixing (ROADMAP "per-level substrate mixing"): low
+/// levels hold components of at most 2^(i+1) vertices, so a cache-packed
+/// sequential representation there can beat the pointer structures the
+/// huge top-level components need. Levels strictly below `threshold` use
+/// `low`; the rest use the structure's primary substrate. threshold <= 0
+/// disables mixing.
+struct level_policy {
+  int threshold = 0;
+  bdc::substrate low = bdc::substrate::blocked;
+
+  [[nodiscard]] bool mixed() const { return threshold > 0; }
+  friend bool operator==(const level_policy&, const level_policy&) = default;
+};
+
 class level_structure {
  public:
   level_structure(vertex_id n, uint64_t seed,
-                  bdc::substrate sub = substrate::skiplist);
+                  bdc::substrate sub = substrate::skiplist,
+                  level_policy policy = {});
 
   [[nodiscard]] vertex_id num_vertices() const { return n_; }
   [[nodiscard]] int num_levels() const {
@@ -39,10 +54,22 @@ class level_structure {
     return uint64_t{1} << (level + 1);
   }
 
-  /// Which Euler-tour representation backs every F_i.
+  /// The primary Euler-tour representation (levels >= policy threshold).
   [[nodiscard]] bdc::substrate ett_substrate_kind() const {
     return substrate_;
   }
+  /// The representation backing F_level under the active policy.
+  [[nodiscard]] bdc::substrate substrate_at(int level) const {
+    return level < policy_.threshold ? policy_.low : substrate_;
+  }
+  [[nodiscard]] const level_policy& policy() const { return policy_; }
+
+  /// Aggregated node-pool counters across every materialized forest.
+  [[nodiscard]] node_pool::stats_snapshot pool_stats() const;
+  /// Trims every materialized forest's pool (see node_pool::trim),
+  /// keeping up to `keep_bytes` of spare blocks per forest; returns the
+  /// total bytes released. Quiescence required.
+  size_t trim_pools(size_t keep_bytes = 0);
 
   /// F_i; materializes it if needed.
   ett_substrate& forest(int level);
@@ -129,6 +156,7 @@ class level_structure {
   vertex_id n_;
   uint64_t seed_;
   bdc::substrate substrate_;
+  level_policy policy_;
   std::vector<level_state> levels_;
   edge_dict dict_;
 };

@@ -1,0 +1,831 @@
+#include "ett/blocked_ett.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <type_traits>
+#include <unordered_set>
+
+#include "ett/link_partition.hpp"
+#include "ett/tour_entry.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "sequence/semisort.hpp"
+
+namespace bdc {
+
+/// One packed segment of a tour: up to kBlockCap contiguous entries plus
+/// the aggregate counters of the sentinels it holds. Blocks of one tour
+/// form a circular doubly-linked list.
+struct blocked_ett::block {
+  block* prev = nullptr;
+  block* next = nullptr;
+  tour* owner = nullptr;
+  uint32_t count = 0;
+  ett_counts agg;  // sum of own_[v] over sentinel entries in this block
+  uint64_t tags[kBlockCap];
+};
+
+/// Per-splice seam bookkeeping: rebalance candidates and merge-freed
+/// blocks. One splice touches at most ~6 seam blocks, and rebalancing a
+/// candidate absorbs sub-floor seam blocks plus at most one
+/// floor-satisfying neighbor, so 16 slots bound both lists; the assert
+/// backstops the bound under the fuzz suites.
+struct blocked_ett::seam_blocks {
+  block* items[16];
+  uint32_t n = 0;
+  void push(block* b) {
+    assert(n < 16 && "seam block bound exceeded");
+    items[n++] = b;
+  }
+  [[nodiscard]] bool contains(const block* b, uint32_t limit) const {
+    for (uint32_t i = 0; i < limit; ++i)
+      if (items[i] == b) return true;
+    return false;
+  }
+  [[nodiscard]] bool contains(const block* b) const {
+    return contains(b, n);
+  }
+};
+
+/// Per-component descriptor; its address is the component representative.
+struct blocked_ett::tour {
+  block* head = nullptr;  // some block of the cycle (iteration start)
+  ett_counts agg;         // component-wide sums
+  uint64_t nentries = 0;  // 3k - 2 for a k-vertex tree
+  uint32_t nblocks = 0;
+};
+
+blocked_ett::blocked_ett(vertex_id n, uint64_t /*seed*/)
+    : own_(n, ett_counts{1, 0, 0}), vloc_(n, nullptr), arcs_(64) {}
+
+blocked_ett::~blocked_ett() = default;  // block storage is pool-owned
+
+blocked_ett::block* blocked_ett::new_block(tour* owner) {
+  static_assert(sizeof(block) <= node_pool::kMaxBytes);
+  block* b = new (pool_.allocate(sizeof(block))) block;
+  b->owner = owner;
+  return b;
+}
+
+blocked_ett::tour* blocked_ett::new_tour() {
+  static_assert(sizeof(tour) <= node_pool::kMaxBytes);
+  return new (pool_.allocate(sizeof(tour))) tour;
+}
+
+void blocked_ett::free_block(block* b) {
+  static_assert(std::is_trivially_destructible_v<block>);
+  pool_.deallocate(static_cast<void*>(b), sizeof(block));
+}
+
+void blocked_ett::free_tour(tour* t) {
+  static_assert(std::is_trivially_destructible_v<tour>);
+  pool_.deallocate(static_cast<void*>(t), sizeof(tour));
+}
+
+blocked_ett::tour* blocked_ett::tour_of(vertex_id v) const {
+  return vloc_[v] == nullptr ? nullptr : vloc_[v]->owner;
+}
+
+blocked_ett::tour* blocked_ett::materialize(vertex_id v) {
+  assert(vloc_[v] == nullptr);
+  tour* t = new_tour();
+  block* b = new_block(t);
+  b->prev = b->next = b;
+  b->tags[0] = static_cast<uint64_t>(v);
+  b->count = 1;
+  b->agg = own_[v];
+  t->head = b;
+  t->agg = own_[v];
+  t->nentries = 1;
+  t->nblocks = 1;
+  vloc_[v] = b;
+  return t;
+}
+
+uint32_t blocked_ett::index_in_block(const block* b, uint64_t tag) {
+  for (uint32_t i = 0; i < b->count; ++i)
+    if (b->tags[i] == tag) return i;
+  assert(false && "entry not in its registered block");
+  return 0;
+}
+
+void blocked_ett::recompute_agg(block* b) const {
+  ett_counts agg{};
+  for (uint32_t i = 0; i < b->count; ++i)
+    if (!is_arc_tag(b->tags[i]))
+      agg = agg + own_[static_cast<vertex_id>(b->tags[i])];
+  b->agg = agg;
+}
+
+void blocked_ett::reregister(block* b) {
+  for (uint32_t i = 0; i < b->count; ++i) {
+    uint64_t tag = b->tags[i];
+    if (!is_arc_tag(tag)) {
+      vloc_[static_cast<vertex_id>(tag)] = b;
+      continue;
+    }
+    edge e{arc_tag_tail(tag), arc_tag_head(tag)};
+    edge c = e.canonical();
+    arc_loc* loc = arcs_.find(edge_key(c));
+    assert(loc != nullptr && "arc entry for an unregistered edge");
+    (e.u == c.u ? loc->fwd : loc->rev) = b;
+  }
+}
+
+blocked_ett::block* blocked_ett::split_at(block* b, uint32_t i) {
+  assert(i <= b->count);
+  if (i == 0) return b;
+  if (i == b->count) return b->next;
+  tour* t = b->owner;
+  block* nb = new_block(t);
+  nb->count = b->count - i;
+  std::memcpy(nb->tags, b->tags + i, nb->count * sizeof(uint64_t));
+  b->count = i;
+  nb->next = b->next;
+  nb->prev = b;
+  b->next->prev = nb;
+  b->next = nb;
+  ++t->nblocks;
+  recompute_agg(b);
+  recompute_agg(nb);
+  reregister(nb);
+  return nb;
+}
+
+void blocked_ett::append_entries(block* b, const uint64_t* tags, uint32_t m) {
+  assert(b->count + m <= kBlockCap);
+  std::memcpy(b->tags + b->count, tags, m * sizeof(uint64_t));
+  b->count += m;
+  for (uint32_t i = 0; i < m; ++i)
+    if (!is_arc_tag(tags[i]))
+      b->agg = b->agg + own_[static_cast<vertex_id>(tags[i])];
+}
+
+void blocked_ett::prepend_entry(block* b, uint64_t tag) {
+  assert(b->count < kBlockCap);
+  std::memmove(b->tags + 1, b->tags, b->count * sizeof(uint64_t));
+  b->tags[0] = tag;
+  ++b->count;
+  if (!is_arc_tag(tag)) b->agg = b->agg + own_[static_cast<vertex_id>(tag)];
+}
+
+void blocked_ett::rebalance(block* b, seam_blocks& dead) {
+  tour* t = b->owner;
+  while (t->nblocks > 1 && b->count < kMinFill) {
+    block* nb = b->next;
+    assert(nb != b);
+    if (b->count + nb->count <= kBlockCap) {
+      // Merge nb into b wholesale.
+      std::memcpy(b->tags + b->count, nb->tags,
+                  nb->count * sizeof(uint64_t));
+      b->count += nb->count;
+      b->agg = b->agg + nb->agg;
+      b->next = nb->next;
+      nb->next->prev = b;
+      --t->nblocks;
+      if (t->head == nb) t->head = b;
+      // Entries that lived in nb now live in b.
+      reregister(b);
+      dead.push(nb);
+      free_block(nb);
+    } else {
+      // Borrow from the front of nb so both end up at least half full.
+      uint32_t total = b->count + nb->count;
+      uint32_t take = total / 2 - b->count;
+      assert(take > 0 && take < nb->count);
+      std::memcpy(b->tags + b->count, nb->tags, take * sizeof(uint64_t));
+      std::memmove(nb->tags, nb->tags + take,
+                   (nb->count - take) * sizeof(uint64_t));
+      b->count += take;
+      nb->count -= take;
+      recompute_agg(b);
+      recompute_agg(nb);
+      reregister(b);
+      return;
+    }
+  }
+}
+
+void blocked_ett::rebalance_candidates(const seam_blocks& cands,
+                                       seam_blocks& dead) {
+  for (uint32_t i = 0; i < cands.n; ++i) {
+    block* c = cands.items[i];
+    if (cands.contains(c, i)) continue;  // duplicate candidate
+    if (dead.contains(c)) continue;  // freed by an earlier merge
+    rebalance(c, dead);
+  }
+}
+
+void blocked_ett::set_arc_blocks(edge e, block* fwd_holder,
+                                 block* rev_holder) {
+  // fwd/rev are oriented by the canonical edge; e is (tail, head) of the
+  // arc placed in fwd_holder.
+  edge c = e.canonical();
+  arc_loc* loc = arcs_.find(edge_key(c));
+  assert(loc != nullptr && "arc placeholder missing");
+  if (e.u == c.u) {
+    loc->fwd = fwd_holder;
+    loc->rev = rev_holder;
+  } else {
+    loc->fwd = rev_holder;
+    loc->rev = fwd_holder;
+  }
+}
+
+void blocked_ett::collapse_singleton(tour* t, seam_blocks& dead) {
+  assert(t->nentries == 1 && t->nblocks == 1);
+  block* b = t->head;
+  assert(b->count == 1 && !is_arc_tag(b->tags[0]));
+  vloc_[static_cast<vertex_id>(b->tags[0])] = nullptr;
+  dead.push(b);
+  free_block(b);
+  free_tour(t);
+}
+
+// ---------------------------------------------------------------------
+// Link: splice the guest's cycle (rotated to start at its sentinel) plus
+// the two arc entries into the host's cycle right after the host's
+// sentinel. The larger side hosts, so owner relabelling touches only the
+// smaller side's blocks.
+// ---------------------------------------------------------------------
+
+void blocked_ett::link_one(vertex_id u, vertex_id v) {
+  tour* tu = tour_of(u);
+  tour* tv = tour_of(v);
+  uint64_t su = tu == nullptr ? 1 : tu->agg.vertices;
+  uint64_t sv = tv == nullptr ? 1 : tv->agg.vertices;
+  vertex_id h = u, g = v;
+  tour* th = tu;
+  tour* tg = tv;
+  if (sv > su) {
+    std::swap(h, g);
+    std::swap(th, tg);
+  }
+  if (th == nullptr) th = materialize(h);
+  const uint64_t hg = arc_tag(h, g);
+  const uint64_t gh = arc_tag(g, h);
+
+  block* bh = vloc_[h];
+  block* right = split_at(bh, index_in_block(bh, h) + 1);
+
+  seam_blocks dead;
+  seam_blocks cands;
+  cands.push(bh);
+  cands.push(right);
+
+  if (tg == nullptr) {
+    // Guest is a singleton: the insertion is the inline triple
+    // [h->g, s_g, g->h].
+    const uint64_t triple[3] = {hg, static_cast<uint64_t>(g), gh};
+    block* holder;
+    if (bh->count + 3 <= kBlockCap) {
+      holder = bh;
+      append_entries(bh, triple, 3);
+    } else {
+      holder = new_block(th);
+      append_entries(holder, triple, 3);
+      holder->prev = bh;
+      holder->next = right;
+      bh->next = holder;
+      right->prev = holder;
+      ++th->nblocks;
+      cands.push(holder);
+    }
+    vloc_[g] = holder;
+    set_arc_blocks(edge{h, g}, holder, holder);
+    th->agg = th->agg + own_[g];
+    th->nentries += 3;
+  } else {
+    // Rotate the guest cycle so it starts at g's sentinel.
+    block* bg = vloc_[g];
+    block* gstart = split_at(bg, index_in_block(bg, g));
+    block* gend = gstart->prev;
+    // Relabel the guest's blocks while the cycle is still closed.
+    for (block* cur = gstart;;) {
+      cur->owner = th;
+      cur = cur->next;
+      if (cur == gstart) break;
+    }
+    // Place the two arc entries adjacent to the splice seams.
+    block* a1 = nullptr;  // holds h->g unless packed into bh / gstart
+    block* hg_holder;
+    if (bh->count < kBlockCap) {
+      append_entries(bh, &hg, 1);
+      hg_holder = bh;
+    } else if (gstart->count < kBlockCap) {
+      prepend_entry(gstart, hg);
+      hg_holder = gstart;
+    } else {
+      a1 = new_block(th);
+      append_entries(a1, &hg, 1);
+      hg_holder = a1;
+      cands.push(a1);
+    }
+    block* a2 = nullptr;  // holds g->h unless packed into gend
+    block* gh_holder;
+    if (gend->count < kBlockCap) {
+      append_entries(gend, &gh, 1);
+      gh_holder = gend;
+    } else {
+      a2 = new_block(th);
+      append_entries(a2, &gh, 1);
+      gh_holder = a2;
+      cands.push(a2);
+    }
+    // Splice: bh -> (a1?) -> gstart .. gend -> (a2?) -> right.
+    block* first = a1 != nullptr ? a1 : gstart;
+    block* last = a2 != nullptr ? a2 : gend;
+    if (a1 != nullptr) {
+      a1->next = gstart;
+      gstart->prev = a1;
+    }
+    if (a2 != nullptr) {
+      gend->next = a2;
+      a2->prev = gend;
+    }
+    bh->next = first;
+    first->prev = bh;
+    last->next = right;
+    right->prev = last;
+    set_arc_blocks(edge{h, g}, hg_holder, gh_holder);
+    th->agg = th->agg + tg->agg;
+    th->nentries += tg->nentries + 2;
+    th->nblocks += tg->nblocks + (a1 != nullptr) + (a2 != nullptr);
+    free_tour(tg);
+    cands.push(gstart);
+    cands.push(gend);
+  }
+
+  rebalance_candidates(cands, dead);
+}
+
+// ---------------------------------------------------------------------
+// Cut: isolate the edge's two arc entries at block boundaries, unlink
+// them, and re-close the two complementary arcs of the cycle into
+// separate tours. The segment strictly between (u->v) and (v->u) is
+// exactly the tour of v's subtree.
+// ---------------------------------------------------------------------
+
+void blocked_ett::cut_one(edge e) {
+  const uint64_t key = edge_key(e.canonical());
+  arc_loc* loc = arcs_.find(key);
+  assert(loc != nullptr && "cut: edge not in forest");
+  const uint64_t fwd_tag = arc_tag(e.canonical().u, e.canonical().v);
+  const uint64_t rev_tag = arc_tag(e.canonical().v, e.canonical().u);
+
+  // Isolate each arc in a single-entry block. Splits re-register moved
+  // entries, so re-read the location before isolating the second arc.
+  block* bf = loc->fwd;
+  uint32_t fi = index_in_block(bf, fwd_tag);
+  split_at(bf, fi + 1);
+  block* af = split_at(bf, fi);
+  assert(af->count == 1 && af->tags[0] == fwd_tag);
+
+  block* br = loc->rev;
+  uint32_t ri = index_in_block(br, rev_tag);
+  split_at(br, ri + 1);
+  block* ar = split_at(br, ri);
+  assert(ar->count == 1 && ar->tags[0] == rev_tag);
+
+  tour* t = af->owner;
+  assert(ar->owner == t);
+  // The subtree side (between fwd and rev) and the remainder are both
+  // non-empty: each contains at least one sentinel.
+  block* s2h = af->next;
+  block* s2t = ar->prev;
+  block* s1h = ar->next;
+  block* s1t = af->prev;
+  assert(s2h != ar && s1h != af);
+
+  // Close the two cycles.
+  s2t->next = s2h;
+  s2h->prev = s2t;
+  s1t->next = s1h;
+  s1h->prev = s1t;
+
+  // The subtree side becomes a new tour.
+  tour* t2 = new_tour();
+  t2->head = s2h;
+  for (block* cur = s2h;;) {
+    cur->owner = t2;
+    t2->agg = t2->agg + cur->agg;
+    t2->nentries += cur->count;
+    ++t2->nblocks;
+    cur = cur->next;
+    if (cur == s2h) break;
+  }
+  t->head = s1h;
+  t->agg = t->agg - t2->agg;
+  t->nentries -= t2->nentries + 2;
+  t->nblocks -= t2->nblocks + 2;
+
+  seam_blocks dead;
+  free_block(af);
+  free_block(ar);
+  dead.push(af);
+  dead.push(ar);
+
+  // Collapse one-vertex remainders to implicit singletons; rebalance the
+  // seam blocks of the survivors.
+  seam_blocks cands;
+  if (t2->nentries == 1) {
+    collapse_singleton(t2, dead);
+  } else {
+    cands.push(s2h);
+    cands.push(s2t);
+  }
+  if (t->nentries == 1) {
+    collapse_singleton(t, dead);
+  } else {
+    cands.push(s1h);
+    cands.push(s1t);
+  }
+  rebalance_candidates(cands, dead);
+}
+
+void blocked_ett::add_counts_one(const count_delta& d) {
+  ett_counts& own = own_[d.v];
+  assert(static_cast<int64_t>(own.tree_edges) + d.tree_delta >= 0);
+  assert(static_cast<int64_t>(own.nontree_edges) + d.nontree_delta >= 0);
+  own.tree_edges = static_cast<uint32_t>(
+      static_cast<int64_t>(own.tree_edges) + d.tree_delta);
+  own.nontree_edges = static_cast<uint32_t>(
+      static_cast<int64_t>(own.nontree_edges) + d.nontree_delta);
+  if (block* b = vloc_[d.v]; b != nullptr) {
+    auto apply = [&](ett_counts& c) {
+      c.tree_edges = static_cast<uint32_t>(
+          static_cast<int64_t>(c.tree_edges) + d.tree_delta);
+      c.nontree_edges = static_cast<uint32_t>(
+          static_cast<int64_t>(c.nontree_edges) + d.nontree_delta);
+    };
+    apply(b->agg);
+    apply(b->owner->agg);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batch surface. Mutations follow the treap substrate's phase structure:
+// read-only resolution of the touched tours, a partition of the batch
+// into groups over disjoint tours, then concurrent per-group sequential
+// splices. Arc-map phase safety: placeholders for new edges are inserted
+// in a dedicated phase up front, group processing only reads slots and
+// updates values of its own keys, and cut erasures happen in one batch
+// after every group has finished.
+// ---------------------------------------------------------------------
+
+void blocked_ett::batch_link(std::span<const edge> links) {
+  size_t k = links.size();
+  if (k == 0) return;
+  arcs_.reserve_for(k);
+  if (k < kParallelMutationCutoff || num_workers() <= 1) {
+    for (const edge& e : links) {
+      arcs_.insert(edge_key(e.canonical()), arc_loc{});
+      link_one(e.u, e.v);
+    }
+    return;
+  }
+
+  // Phase 1 (read-only, parallel): resolve each endpoint's component rep.
+  auto& rep_u = scratch_.rep_u;
+  auto& rep_v = scratch_.rep_v;
+  rep_u.resize(k);
+  rep_v.resize(k);
+  parallel_for(0, k, [&](size_t i) {
+    rep_u[i] = reinterpret_cast<uintptr_t>(find_rep(links[i].u));
+    rep_v[i] = reinterpret_cast<uintptr_t>(find_rep(links[i].v));
+  });
+
+  // Phase 2 (parallel): arc-map placeholders for the new edges (inserts
+  // of distinct keys are phase-safe).
+  parallel_for(0, k, [&](size_t i) {
+    arcs_.insert(edge_key(links[i].canonical()), arc_loc{});
+  });
+
+  // Phase 3: partition the batch into groups whose merged components
+  // are disjoint (ett/link_partition.hpp — shared with the treap
+  // substrate). All-distinct fast path: each link is a singleton group.
+  auto part = partition_links<uintptr_t>(rep_u, rep_v, scratch_.part);
+  if (part.all_distinct) {
+    parallel_for(
+        0, k, [&](size_t i) { link_one(links[i].u, links[i].v); }, 1);
+    return;
+  }
+  auto& groups = part.groups;
+
+  // Phase 4 (parallel over groups): sequential splices within a group.
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t gi) {
+        for (uint32_t j = groups.group_starts[gi];
+             j < groups.group_starts[gi + 1]; ++j) {
+          const edge& e = links[groups.records[j].second];
+          link_one(e.u, e.v);
+        }
+      },
+      1);
+}
+
+void blocked_ett::batch_cut(std::span<const edge> cuts) {
+  size_t c = cuts.size();
+  if (c == 0) return;
+  auto& keys = scratch_.keys;
+  keys.resize(c);
+  if (c < kParallelMutationCutoff || num_workers() <= 1) {
+    for (size_t i = 0; i < c; ++i) {
+      keys[i] = edge_key(cuts[i].canonical());
+      cut_one(cuts[i]);
+    }
+    arcs_.erase_batch(keys);
+    return;
+  }
+
+  // Phase 1 (read-only, parallel): resolve each cut's tour.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed(c);
+  parallel_for(0, c, [&](size_t i) {
+    keys[i] = edge_key(cuts[i].canonical());
+    const arc_loc* loc = arcs_.find(keys[i]);
+    assert(loc != nullptr && "batch_cut: edge not in forest");
+    keyed[i] = {static_cast<uint64_t>(
+                    reinterpret_cast<uintptr_t>(loc->fwd->owner)),
+                static_cast<uint32_t>(i)};
+  });
+
+  // Phase 2: group by tour; disjoint tours mutate concurrently.
+  auto groups = group_by_key(std::move(keyed));
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t gi) {
+        for (uint32_t j = groups.group_starts[gi];
+             j < groups.group_starts[gi + 1]; ++j)
+          cut_one(cuts[groups.records[j].second]);
+      },
+      1);
+
+  // Phase 3: drop the arc records in one erase phase.
+  arcs_.erase_batch(keys);
+}
+
+void blocked_ett::batch_add_counts(std::span<const count_delta> deltas) {
+  size_t k = deltas.size();
+  if (k < kParallelMutationCutoff || num_workers() <= 1) {
+    for (const count_delta& d : deltas) add_counts_one(d);
+    return;
+  }
+  // Deltas on one tour contend on the block/tour aggregates; group by
+  // component rep (singletons get unique reps) and fan out over groups.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed(k);
+  parallel_for(0, k, [&](size_t i) {
+    keyed[i] = {
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(find_rep(
+            deltas[i].v))),
+        static_cast<uint32_t>(i)};
+  });
+  auto groups = group_by_key(std::move(keyed));
+  parallel_for(
+      0, groups.num_groups(),
+      [&](size_t gi) {
+        for (uint32_t j = groups.group_starts[gi];
+             j < groups.group_starts[gi + 1]; ++j)
+          add_counts_one(deltas[groups.records[j].second]);
+      },
+      1);
+}
+
+// ---------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------
+
+ett_substrate::rep blocked_ett::find_rep(vertex_id v) const {
+  block* b = vloc_[v];
+  return b == nullptr ? static_cast<rep>(&own_[v])
+                      : static_cast<rep>(b->owner);
+}
+
+bool blocked_ett::connected(vertex_id u, vertex_id v) const {
+  return find_rep(u) == find_rep(v);
+}
+
+std::vector<bool> blocked_ett::batch_connected(
+    std::span<const std::pair<vertex_id, vertex_id>> queries) const {
+  std::vector<uint8_t> bits(queries.size());
+  parallel_for(0, queries.size(), [&](size_t i) {
+    bits[i] = connected(queries[i].first, queries[i].second) ? 1 : 0;
+  });
+  return std::vector<bool>(bits.begin(), bits.end());
+}
+
+std::vector<ett_substrate::rep> blocked_ett::batch_find_rep(
+    std::span<const vertex_id> vs) const {
+  std::vector<rep> out(vs.size());
+  parallel_for(0, vs.size(), [&](size_t i) { out[i] = find_rep(vs[i]); });
+  return out;
+}
+
+ett_counts blocked_ett::component_counts(vertex_id v) const {
+  block* b = vloc_[v];
+  return b == nullptr ? own_[v] : b->owner->agg;
+}
+
+ett_counts blocked_ett::vertex_counts(vertex_id v) const { return own_[v]; }
+
+std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_counted(
+    vertex_id v, uint64_t want, bool nontree) const {
+  std::vector<std::pair<vertex_id, uint32_t>> out;
+  if (want == 0) return out;
+  block* b0 = vloc_[v];
+  if (b0 == nullptr) {  // singleton component
+    uint64_t own = slot_count(own_[v], nontree);
+    if (own > 0)
+      out.emplace_back(v, static_cast<uint32_t>(std::min(own, want)));
+    return out;
+  }
+  // Stream the cycle in tour order, skipping blocks whose aggregate holds
+  // no slots of the requested kind.
+  uint64_t left = want;
+  block* start = b0->owner->head;
+  for (block* cur = start; left > 0;) {
+    if (slot_count(cur->agg, nontree) > 0) {
+      for (uint32_t i = 0; i < cur->count && left > 0; ++i) {
+        uint64_t tag = cur->tags[i];
+        if (is_arc_tag(tag)) continue;
+        uint64_t own = slot_count(own_[static_cast<vertex_id>(tag)],
+                                  nontree);
+        if (own == 0) continue;
+        uint64_t take = std::min(own, left);
+        out.emplace_back(static_cast<vertex_id>(tag),
+                         static_cast<uint32_t>(take));
+        left -= take;
+      }
+    }
+    cur = cur->next;
+    if (cur == start) break;
+  }
+  return out;
+}
+
+std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_nontree(
+    vertex_id v, uint64_t want) const {
+  return fetch_counted(v, want, /*nontree=*/true);
+}
+
+std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_tree(
+    vertex_id v, uint64_t want) const {
+  return fetch_counted(v, want, /*nontree=*/false);
+}
+
+std::vector<vertex_id> blocked_ett::component_vertices(vertex_id v) const {
+  block* b0 = vloc_[v];
+  if (b0 == nullptr) return {v};
+  std::vector<vertex_id> out;
+  out.reserve(b0->owner->agg.vertices);
+  block* start = b0->owner->head;
+  for (block* cur = start;;) {
+    for (uint32_t i = 0; i < cur->count; ++i)
+      if (!is_arc_tag(cur->tags[i]))
+        out.push_back(static_cast<vertex_id>(cur->tags[i]));
+    cur = cur->next;
+    if (cur == start) break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------
+
+std::string blocked_ett::check_consistency() const {
+  std::unordered_set<const tour*> seen;
+  size_t reachable_arcs = 0;
+  for (vertex_id v = 0; v < own_.size(); ++v) {
+    if (own_[v].vertices != 1) return "per-vertex counter lost its vertex";
+    block* b0 = vloc_[v];
+    if (b0 == nullptr) continue;  // singleton
+    const tour* t = b0->owner;
+    if (t == nullptr) return "block without owner";
+    if (!seen.insert(t).second) continue;
+
+    // Walk the cycle once: chain coherence, occupancy, aggregates.
+    ett_counts total{};
+    uint64_t entries = 0;
+    uint32_t blocks = 0;
+    std::vector<uint64_t> tags;
+    const block* start = t->head;
+    if (start == nullptr) return "tour without head block";
+    for (const block* cur = start;;) {
+      if (cur->owner != t) return "block owner mismatch";
+      if (cur->next->prev != cur || cur->prev->next != cur)
+        return "block chain broken";
+      if (cur->count == 0 || cur->count > kBlockCap)
+        return "block count out of range";
+      ett_counts agg{};
+      for (uint32_t i = 0; i < cur->count; ++i) {
+        uint64_t tag = cur->tags[i];
+        if (!is_arc_tag(tag)) agg = agg + own_[static_cast<vertex_id>(tag)];
+        tags.push_back(tag);
+      }
+      if (!(agg == cur->agg)) return "block aggregate mismatch";
+      total = total + agg;
+      entries += cur->count;
+      ++blocks;
+      cur = cur->next;
+      if (cur == start) break;
+    }
+    if (blocks != t->nblocks) return "tour block count mismatch";
+    if (entries != t->nentries) return "tour entry count mismatch";
+    if (!(total == t->agg)) return "tour aggregate mismatch";
+    if (entries != 3 * static_cast<uint64_t>(total.vertices) - 2)
+      return "tour length mismatch";
+    if (blocks > 1) {
+      for (const block* cur = start;;) {
+        if (cur->count < kMinFill) return "block occupancy below floor";
+        cur = cur->next;
+        if (cur == start) break;
+      }
+    }
+
+    // Tour orientation: the packed sequence must be a closed Euler walk,
+    // every sentinel registered in vloc_, every arc registered (with this
+    // block) in the arc map.
+    for (size_t i = 0; i < tags.size(); ++i) {
+      uint64_t tag = tags[i];
+      uint64_t next = tags[(i + 1) % tags.size()];
+      if (tag_head(tag) != tag_tail(next)) {
+        return "tour orientation broken at position " + std::to_string(i) +
+               ": " + std::to_string(tag_tail(tag)) + "->" +
+               std::to_string(tag_head(tag)) + " then " +
+               std::to_string(tag_tail(next)) + "->" +
+               std::to_string(tag_head(next));
+      }
+      if (!is_arc_tag(tag)) {
+        vertex_id x = static_cast<vertex_id>(tag);
+        if (x >= own_.size()) return "sentinel for an unknown vertex";
+        // Registration is checked block-by-block below via vloc_.
+        continue;
+      }
+      ++reachable_arcs;
+      edge e{arc_tag_tail(tag), arc_tag_head(tag)};
+      const arc_loc* loc = arcs_.find(edge_key(e.canonical()));
+      if (loc == nullptr) return "arc entry for an unregistered edge";
+    }
+    // vloc_ registration: each sentinel's registered block contains it.
+    for (const block* cur = start;;) {
+      for (uint32_t i = 0; i < cur->count; ++i) {
+        uint64_t tag = cur->tags[i];
+        if (is_arc_tag(tag)) continue;
+        if (vloc_[static_cast<vertex_id>(tag)] != cur)
+          return "sentinel registered in the wrong block";
+      }
+      cur = cur->next;
+      if (cur == start) break;
+    }
+  }
+
+  // Every registered arc pair must be reachable and point at blocks that
+  // really contain the arcs.
+  std::string err;
+  for (auto& [key, loc] : arcs_.entries()) {
+    edge c = edge_from_key(key);
+    uint64_t fwd = arc_tag(c.u, c.v);
+    uint64_t rev = arc_tag(c.v, c.u);
+    if (loc.fwd == nullptr || loc.rev == nullptr)
+      return "arc record with no block";
+    if (!seen.count(loc.fwd->owner) || !seen.count(loc.rev->owner))
+      return "arc-map block not reachable from any sentinel";
+    bool found_f = false, found_r = false;
+    for (uint32_t i = 0; i < loc.fwd->count; ++i)
+      if (loc.fwd->tags[i] == fwd) found_f = true;
+    for (uint32_t i = 0; i < loc.rev->count; ++i)
+      if (loc.rev->tags[i] == rev) found_r = true;
+    if (!found_f || !found_r) return "arc registered in the wrong block";
+  }
+  if (reachable_arcs != 2 * arcs_.size())
+    return "arc entry count disagrees with the arc map";
+  return "";
+}
+
+blocked_ett::block_stats blocked_ett::debug_block_stats() const {
+  block_stats s;
+  s.min_fill = kBlockCap;
+  std::unordered_set<const tour*> seen;
+  for (vertex_id v = 0; v < own_.size(); ++v) {
+    block* b0 = vloc_[v];
+    if (b0 == nullptr || !seen.insert(b0->owner).second) continue;
+    ++s.tours;
+    const block* start = b0->owner->head;
+    for (const block* cur = start;;) {
+      ++s.blocks;
+      s.entries += cur->count;
+      if (b0->owner->nblocks > 1) {
+        s.min_fill = std::min(s.min_fill, cur->count);
+        s.max_fill = std::max(s.max_fill, cur->count);
+      }
+      cur = cur->next;
+      if (cur == start) break;
+    }
+  }
+  if (s.blocks == 0) s.min_fill = 0;
+  return s;
+}
+
+}  // namespace bdc

@@ -19,7 +19,20 @@ struct ett_counts {
     return {a.vertices + b.vertices, a.tree_edges + b.tree_edges,
             a.nontree_edges + b.nontree_edges};
   }
+  /// Componentwise difference; the caller guarantees a >= b (used when a
+  /// tour split carves a sub-tour's aggregate out of its parent's).
+  friend ett_counts operator-(const ett_counts& a, const ett_counts& b) {
+    return {a.vertices - b.vertices, a.tree_edges - b.tree_edges,
+            a.nontree_edges - b.nontree_edges};
+  }
   friend bool operator==(const ett_counts&, const ett_counts&) = default;
 };
+
+/// The tree or non-tree slot total of a counter set (the HDT fetch and
+/// search primitives are parameterized on which kind they walk).
+[[nodiscard]] constexpr uint64_t slot_count(const ett_counts& c,
+                                            bool nontree) {
+  return nontree ? c.nontree_edges : c.tree_edges;
+}
 
 }  // namespace bdc

@@ -1,5 +1,6 @@
 #include "ett/ett_substrate.hpp"
 
+#include "ett/blocked_ett.hpp"
 #include "ett/euler_tour_tree.hpp"
 #include "ett/treap_ett.hpp"
 
@@ -11,6 +12,8 @@ const char* to_string(substrate s) {
       return "skiplist";
     case substrate::treap:
       return "treap";
+    case substrate::blocked:
+      return "blocked";
   }
   return "unknown";
 }
@@ -18,6 +21,7 @@ const char* to_string(substrate s) {
 std::optional<substrate> substrate_from_string(std::string_view name) {
   if (name == "skiplist") return substrate::skiplist;
   if (name == "treap") return substrate::treap;
+  if (name == "blocked") return substrate::blocked;
   return std::nullopt;
 }
 
@@ -26,6 +30,8 @@ std::unique_ptr<ett_substrate> make_ett(substrate s, vertex_id n,
   switch (s) {
     case substrate::treap:
       return std::make_unique<treap_ett>(n, seed);
+    case substrate::blocked:
+      return std::make_unique<blocked_ett>(n, seed);
     case substrate::skiplist:
       break;
   }

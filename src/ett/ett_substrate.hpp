@@ -10,7 +10,7 @@
 // runtime (options::substrate), and so substrates can be benchmarked
 // head-to-head on identical workloads (bench_substrates).
 //
-// Two substrates are provided:
+// Three substrates are provided:
 //   * substrate::skiplist — `euler_tour_forest`, batch-parallel tours over
 //     the phase-concurrent augmented skip list (Tseng et al. [62]); the
 //     paper's own representation and the default.
@@ -18,6 +18,11 @@
 //     (Henzinger–King style); mutation batches are parallel join-based
 //     bulk operations partitioned by tour, read-only batches fan out
 //     across workers.
+//   * substrate::blocked — `blocked_ett`, tours as circular lists of
+//     cache-packed fixed-size blocks with per-block aggregates and O(1)
+//     representative/count queries; the small-component specialist (De
+//     Man et al. 2024), and the low-level half of the per-level substrate
+//     policy (options::policy).
 //
 // Phase contract (both substrates): a batch mutation call is one exclusive
 // phase; read-only queries (connected / find_rep / counts / fetch) may run
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "ett/ett_counts.hpp"
+#include "util/node_pool.hpp"
 #include "util/types.hpp"
 
 namespace bdc {
@@ -48,6 +54,7 @@ namespace bdc {
 enum class substrate : uint8_t {
   skiplist,  // batch-parallel augmented skip list (paper default)
   treap,     // sequence treaps (HDT-style)
+  blocked,   // cache-packed block-linked tours (small-component specialist)
 };
 
 [[nodiscard]] const char* to_string(substrate s);
@@ -127,6 +134,24 @@ class ett_substrate {
 
   /// Deep structural validation (tests). Empty string if healthy.
   [[nodiscard]] virtual std::string check_consistency() const = 0;
+
+  // ------------------------------------------------------------------
+  // Memory accounting (ROADMAP "pool sizing / trimming"). Both calls
+  // require the substrate to be quiescent (no phase in flight).
+  // ------------------------------------------------------------------
+
+  /// Counters of the substrate's node pool (zeroes for substrates that
+  /// do not pool).
+  [[nodiscard]] virtual node_pool::stats_snapshot pool_stats() const {
+    return {};
+  }
+  /// Releases retained pool memory where safe (see node_pool::trim),
+  /// keeping up to `keep_bytes` of blocks as spares for the next burst;
+  /// returns the number of bytes returned to the OS.
+  virtual size_t trim_pool(size_t keep_bytes = 0) {
+    (void)keep_bytes;
+    return 0;
+  }
 };
 
 /// Constructs an empty n-vertex forest over the chosen substrate.

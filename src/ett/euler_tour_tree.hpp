@@ -87,6 +87,13 @@ class euler_tour_forest final : public ett_substrate {
   /// sums, edge-map agreement. Returns empty string if healthy.
   [[nodiscard]] std::string check_consistency() const override;
 
+  [[nodiscard]] node_pool::stats_snapshot pool_stats() const override {
+    return list_.pool().stats();
+  }
+  size_t trim_pool(size_t keep_bytes = 0) override {
+    return list_.pool().trim(keep_bytes);
+  }
+
  private:
   struct edge_nodes {
     node* fwd = nullptr;  // the arc (c.u, c.v) of the canonical edge c

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "ett/link_partition.hpp"
+#include "ett/tour_entry.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
 #include "sequence/parallel_sort.hpp"
@@ -17,21 +19,15 @@ struct treap_ett::node {
   node* left = nullptr;
   node* right = nullptr;
   uint64_t priority = 0;
-  uint64_t tag = 0;  // vertex sentinel: vertex id; arc: arc key | kArcBit
+  uint64_t tag = 0;  // tour entry (ett/tour_entry.hpp): sentinel or arc
   ett_counts own;    // nonzero only on sentinels
   ett_counts agg;    // subtree sum (own + children)
   uint32_t subtree_nodes = 1;
 };
 
 namespace {
-constexpr uint64_t kArcBit = uint64_t{1} << 63;
-uint64_t arc_key(vertex_id t, vertex_id h) {
-  return kArcBit | (static_cast<uint64_t>(t) << 31) |
-         static_cast<uint64_t>(h);
-}
-uint64_t slot_count(const ett_counts& c, bool nontree) {
-  return nontree ? c.nontree_edges : c.tree_edges;
-}
+// Entry encoding: ett/tour_entry.hpp, shared with the blocked substrate.
+uint64_t arc_key(vertex_id t, vertex_id h) { return arc_tag(t, h); }
 }  // namespace
 
 treap_ett::treap_ett(vertex_id n, uint64_t seed)
@@ -401,7 +397,10 @@ void treap_ett::batch_link(std::span<const edge> links) {
   }
 
   // Phase 1 (read-only, parallel): resolve each endpoint's tour root.
-  std::vector<node*> root_u(k), root_v(k);
+  auto& root_u = scratch_.root_u;
+  auto& root_v = scratch_.root_v;
+  root_u.resize(k);
+  root_v.resize(k);
   parallel_for(0, k, [&](size_t i) {
     root_u[i] = root_of(sentinel_[links[i].u]);
     root_v[i] = root_of(sentinel_[links[i].v]);
@@ -413,7 +412,8 @@ void treap_ett::batch_link(std::span<const edge> links) {
   // (concurrent inserts of distinct keys are phase-safe).
   uint64_t base = counter_;
   counter_ += 2 * k;
-  std::vector<arc_nodes> arcs(k);
+  auto& arcs = scratch_.arcs;
+  arcs.resize(k);
   parallel_for(0, k, [&](size_t i) {
     const edge& e = links[i];
     node* fwd =
@@ -426,32 +426,25 @@ void treap_ett::batch_link(std::span<const edge> links) {
     arcs_.insert(edge_key(e.canonical()), arcs[i]);
   });
 
-  // Phase 3: union-find over the touched tour roots partitions the batch
-  // into groups whose merged components are disjoint. Root pointers get
-  // dense ids by sort + binary search (parallel, and much cheaper than a
-  // hash map at this size).
-  std::vector<node*> roots(2 * k);
-  parallel_for(0, k, [&](size_t i) {
-    roots[i] = root_u[i];
-    roots[k + i] = root_v[i];
-  });
-  parallel_sort(roots);
-  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
-  std::vector<uint32_t> tid_u(k), tid_v(k);
-  parallel_for(0, k, [&](size_t i) {
-    tid_u[i] = static_cast<uint32_t>(
-        std::lower_bound(roots.begin(), roots.end(), root_u[i]) -
-        roots.begin());
-    tid_v[i] = static_cast<uint32_t>(
-        std::lower_bound(roots.begin(), roots.end(), root_v[i]) -
-        roots.begin());
-  });
-  union_find uf(roots.size());
-  for (size_t i = 0; i < k; ++i) uf.unite(tid_u[i], tid_v[i]);
-  std::vector<std::pair<uint32_t, uint32_t>> keyed(k);
-  for (size_t i = 0; i < k; ++i)
-    keyed[i] = {uf.find(tid_u[i]), static_cast<uint32_t>(i)};
-  auto groups = group_by_key(std::move(keyed));
+  // Phase 3: partition the batch into groups whose merged components
+  // are disjoint (ett/link_partition.hpp — shared with the blocked
+  // substrate). The all-distinct fast path splices each link's two
+  // tours directly, skipping the union-find and semisort (the dominant
+  // case for the shattered batches flagged in the PR-3 measurements).
+  auto part = partition_links<node*>(root_u, root_v, scratch_.part);
+  if (part.all_distinct) {
+    parallel_for(
+        0, k,
+        [&](size_t i) {
+          const edge& e = links[i];
+          node* tu = reroot(e.u);
+          node* tv = reroot(e.v);
+          merge(merge(tu, arcs[i].fwd), merge(tv, arcs[i].rev));
+        },
+        1);
+    return;
+  }
+  auto& groups = part.groups;
 
   // Phase 4 (parallel over groups): rebuild each merged tour.
   parallel_for(
@@ -569,9 +562,11 @@ void treap_ett::batch_cut(std::span<const edge> cuts) {
   // Phase 1 (read-only, parallel): resolve every cut edge's arc pair, its
   // tour root, and both arcs' tour positions while the forest is
   // unchanged, writing straight into the (root, mark) records the
-  // semisort groups.
+  // semisort groups. (`keyed` is consumed by the semisort and cannot be
+  // scratch-reused; `keys` can.)
   std::vector<std::pair<uint64_t, cut_mark>> keyed(2 * c);
-  std::vector<uint64_t> keys(c);
+  auto& keys = scratch_.keys;
+  keys.resize(c);
   parallel_for(0, c, [&](size_t i) {
     uint64_t key = edge_key(cuts[i].canonical());
     keys[i] = key;
@@ -732,7 +727,7 @@ std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_counted(
       stack.push_back({x, true});
       stack.push_back({x->left, false});
     } else if (uint64_t own = slot_count(x->own, nontree); own > 0) {
-      assert((x->tag & kArcBit) == 0);  // only sentinels carry counts
+      assert(!is_arc_tag(x->tag));  // only sentinels carry counts
       uint64_t take = std::min(own, left);
       out.emplace_back(static_cast<vertex_id>(x->tag),
                        static_cast<uint32_t>(take));
@@ -761,7 +756,8 @@ std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
     stack.pop_back();
     if (x == nullptr) continue;
     if (expanded) {
-      if ((x->tag & kArcBit) == 0) out.push_back(static_cast<vertex_id>(x->tag));
+      if (!is_arc_tag(x->tag))
+        out.push_back(static_cast<vertex_id>(x->tag));
     } else {
       stack.push_back({x->right, false});
       stack.push_back({x, true});
@@ -773,16 +769,8 @@ std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
 
 std::string treap_ett::check_consistency() const {
   // Vertex at which the tour enters (head) / leaves (tail) a node.
-  auto tail_of = [](const node* x) {
-    return static_cast<vertex_id>((x->tag & kArcBit) == 0
-                                      ? x->tag
-                                      : (x->tag >> 31) & 0xffffffffull);
-  };
-  auto head_of = [](const node* x) {
-    return static_cast<vertex_id>((x->tag & kArcBit) == 0
-                                      ? x->tag
-                                      : x->tag & 0x7fffffffull);
-  };
+  auto tail_of = [](const node* x) { return tag_tail(x->tag); };
+  auto head_of = [](const node* x) { return tag_head(x->tag); };
   // Validate every treap reachable from a sentinel.
   std::unordered_map<node*, bool> seen_root;
   for (node* s : sentinel_) {
@@ -835,7 +823,7 @@ std::string treap_ett::check_consistency() const {
       }
     }
     auto describe = [&](const node* x) {
-      return (x->tag & kArcBit) == 0
+      return !is_arc_tag(x->tag)
                  ? "s" + std::to_string(tail_of(x))
                  : std::to_string(tail_of(x)) + "->" +
                        std::to_string(head_of(x));
@@ -854,7 +842,7 @@ std::string treap_ett::check_consistency() const {
         }
         return msg;
       }
-      if ((x->tag & kArcBit) == 0) {
+      if (!is_arc_tag(x->tag)) {
         if (x->tag >= sentinel_.size() ||
             sentinel_[static_cast<size_t>(x->tag)] != x)
           return "sentinel identity mismatch";

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "ett/ett_substrate.hpp"
+#include "ett/link_partition.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "util/node_pool.hpp"
 #include "util/random.hpp"
@@ -121,6 +122,13 @@ class treap_ett final : public ett_substrate {
   /// aggregate sums, tour well-formedness. Empty string if healthy.
   [[nodiscard]] std::string check_consistency() const override;
 
+  [[nodiscard]] node_pool::stats_snapshot pool_stats() const override {
+    return pool_.stats();
+  }
+  size_t trim_pool(size_t keep_bytes = 0) override {
+    return pool_.trim(keep_bytes);
+  }
+
  private:
   struct node;
   struct arc_nodes {
@@ -162,6 +170,18 @@ class treap_ett final : public ett_substrate {
   /// Batches below this size (or a 1-worker pool) take the sequential
   /// split/merge loop; grouping overhead would dominate.
   static constexpr size_t kParallelMutationCutoff = 16;
+
+  /// Scratch buffers reused across bulk-mutation calls. Mutation phases
+  /// are exclusive, so reuse is race-free; a deletion stream that
+  /// shatters into thousands of small batches would otherwise pay six
+  /// vector allocations per batch (the PR-3 "shattered batch" constant).
+  struct mutation_scratch {
+    std::vector<node*> root_u, root_v;
+    link_partition_scratch<node*> part;
+    std::vector<arc_nodes> arcs;
+    std::vector<uint64_t> keys;
+  };
+  mutation_scratch scratch_;
 
   random rng_;
   uint64_t counter_ = 0;

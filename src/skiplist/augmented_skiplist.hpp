@@ -339,6 +339,14 @@ class augmented_skiplist {
     return got;
   }
 
+ public:
+  /// The node allocator (memory accounting / trimming). Public so the
+  /// owning forest can surface pool statistics; callers must respect the
+  /// pool's quiescence requirements.
+  [[nodiscard]] node_pool& pool() { return pool_; }
+  [[nodiscard]] const node_pool& pool() const { return pool_; }
+
+ private:
   /// Storage footprint of a height-h node (header + link arrays + sums).
   static constexpr size_t node_bytes(int h) {
     return sizeof(node) + static_cast<size_t>(h) *

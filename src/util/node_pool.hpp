@@ -17,8 +17,11 @@
 //     state needs no synchronization;
 //   * recycles freed nodes across batches via the freeing worker's
 //     freelist — a cut-then-relink workload reuses hot memory;
-//   * returns blocks to the OS only on pool destruction, which also makes
-//     substrate teardown O(#blocks) instead of one `delete` per node.
+//   * returns blocks to the OS on pool destruction (making substrate
+//     teardown O(#blocks) instead of one `delete` per node), or earlier
+//     through high-watermark trimming: trim() releases retained blocks
+//     once every node has been returned, which long-running streams hit
+//     whenever a structure (e.g. a low-level blocked forest) empties out.
 //
 // A thread whose worker id exceeds the slot count frozen at construction
 // (possible when set_num_workers grows the pool afterwards) falls back to a
@@ -48,6 +51,25 @@ class node_pool {
     uint64_t recycled = 0;  // nodes served from a freelist
     uint64_t freed = 0;     // nodes returned to the pool
     uint64_t blocks = 0;    // blocks currently owned
+    uint64_t spare_blocks = 0;    // owned blocks currently uncarved
+    uint64_t trimmed_bytes = 0;   // total bytes released by trim()
+    /// Nodes currently live (allocations minus frees).
+    [[nodiscard]] uint64_t outstanding() const {
+      return fresh + recycled - freed;
+    }
+    /// Bytes currently retained from the OS.
+    [[nodiscard]] uint64_t retained_bytes() const {
+      return blocks * kBlockBytes;
+    }
+    stats_snapshot& operator+=(const stats_snapshot& o) {
+      fresh += o.fresh;
+      recycled += o.recycled;
+      freed += o.freed;
+      blocks += o.blocks;
+      spare_blocks += o.spare_blocks;
+      trimmed_bytes += o.trimmed_bytes;
+      return *this;
+    }
   };
 
   node_pool() : slots_(num_workers() == 0 ? 1 : num_workers()),
@@ -93,7 +115,40 @@ class node_pool {
     for (const worker_state& ws : workers_) add(ws);
     add(overflow_);
     s.blocks = blocks_.size();
+    s.spare_blocks = spare_.size();
+    s.trimmed_bytes = trimmed_bytes_;
     return s;
+  }
+
+  /// High-watermark trimming. Only callable while the pool is quiescent.
+  /// When every node has been returned (outstanding() == 0) the carved
+  /// blocks are all reclaimable: per-worker freelists and cursors are
+  /// reset, up to `keep_bytes` of blocks are retained as spares for the
+  /// next burst, and the rest go back to the OS. With nodes still live,
+  /// blocks cannot move (freelist nodes point into them) and the call is
+  /// a no-op. Returns the number of bytes released.
+  size_t trim(size_t keep_bytes = 0) {
+    if (stats().outstanding() != 0) return 0;
+    auto reset = [](worker_state& ws) {
+      ws.freelist.fill(nullptr);
+      ws.cursor = nullptr;
+      ws.remaining = 0;
+    };
+    for (worker_state& ws : workers_) reset(ws);
+    reset(overflow_);
+    size_t keep_blocks = (keep_bytes + kBlockBytes - 1) / kBlockBytes;
+    size_t released = 0;
+    {
+      std::lock_guard<std::mutex> lock(blocks_mutex_);
+      while (blocks_.size() > keep_blocks) {
+        ::operator delete(blocks_.back());
+        blocks_.pop_back();
+        released += kBlockBytes;
+      }
+      spare_ = blocks_;  // every kept block is uncarved again
+    }
+    trimmed_bytes_ += released;
+    return released;
   }
 
  private:
@@ -121,8 +176,16 @@ class node_pool {
     }
     size_t bytes = (cls + 1) * kGranularity;
     if (ws.remaining < bytes) {
-      char* b = static_cast<char*>(::operator new(kBlockBytes));
+      char* b = nullptr;
       {
+        std::lock_guard<std::mutex> lock(blocks_mutex_);
+        if (!spare_.empty()) {  // reuse a block retained by trim()
+          b = static_cast<char*>(spare_.back());
+          spare_.pop_back();
+        }
+      }
+      if (b == nullptr) {
+        b = static_cast<char*>(::operator new(kBlockBytes));
         std::lock_guard<std::mutex> lock(blocks_mutex_);
         blocks_.push_back(b);
       }
@@ -147,7 +210,9 @@ class node_pool {
   worker_state overflow_;
   std::mutex overflow_mutex_;
   std::mutex blocks_mutex_;
-  std::vector<void*> blocks_;
+  std::vector<void*> blocks_;  // every block owned (freed in the dtor)
+  std::vector<void*> spare_;   // subset of blocks_ currently uncarved
+  uint64_t trimmed_bytes_ = 0;
 };
 
 }  // namespace bdc

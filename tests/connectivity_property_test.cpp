@@ -6,7 +6,11 @@
 // Every scenario runs at three worker-pool sizes — 1, 2, and the hardware
 // default — because scheduler-dependent bugs (racy batch phases, grouping
 // that silently assumes one worker) only surface when the pool actually
-// forks, and CI machines default to whatever nproc happens to be.
+// forks, and CI machines default to whatever nproc happens to be. The
+// grid is additionally crossed with the substrate configurations: each
+// uniform backend (skiplist, treap, blocked) plus the mixed per-level
+// policy (blocked below a threshold, skip list above), so the policy
+// hook's cross-substrate handoffs get the same oracle scrutiny.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -18,13 +22,16 @@
 #include "gen/graph_gen.hpp"
 #include "hdt/hdt_connectivity.hpp"
 #include "spanning/union_find.hpp"
+#include "test_substrates.hpp"
 #include "test_workers.hpp"
 #include "util/random.hpp"
 
 namespace bdc {
 namespace {
 
+using ::bdc::testing::kSubConfigs;
 using ::bdc::testing::kWorkerGrid;
+using ::bdc::testing::sub_config;
 using ::bdc::testing::worker_pool_guard;
 using ::bdc::testing::workers_name;
 
@@ -37,16 +44,19 @@ struct scenario {
 };
 
 class PropertySweep
-    : public ::testing::TestWithParam<std::tuple<scenario, unsigned>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<scenario, unsigned, sub_config>> {};
 
 TEST_P(PropertySweep, OracleLockstep) {
   const scenario sc = std::get<0>(GetParam());
   worker_pool_guard pool(std::get<1>(GetParam()));
+  const sub_config& cfg = std::get<2>(GetParam());
   const vertex_id n = static_cast<vertex_id>(sc.n);
   random_stream rs(sc.seed);
   options o;
   o.search = sc.engine;
   o.seed = sc.seed * 3 + 1;
+  o = cfg.apply(o);
   batch_dynamic_connectivity dc(n, o);
   hdt_connectivity hdt(n, sc.seed * 5 + 2);
   std::set<std::pair<vertex_id, vertex_id>> present;
@@ -117,22 +127,25 @@ INSTANTIATE_TEST_SUITE_P(
             scenario{level_search_kind::scan_all, 200, 15, 70, 108},
             scenario{level_search_kind::interleaved, 17, 30, 75, 109},
             scenario{level_search_kind::simple, 17, 30, 75, 110}),
-        ::testing::ValuesIn(kWorkerGrid)),
-    [](const ::testing::TestParamInfo<std::tuple<scenario, unsigned>>& info) {
+        ::testing::ValuesIn(kWorkerGrid), ::testing::ValuesIn(kSubConfigs)),
+    [](const ::testing::TestParamInfo<std::tuple<scenario, unsigned,
+                                                 sub_config>>& info) {
       const scenario& sc = std::get<0>(info.param);
       return "seed" + std::to_string(sc.seed) + "_w" +
-             workers_name(std::get<1>(info.param));
+             workers_name(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param).name;
     });
 
 // Structured stress: repeatedly shatter a dense random graph with very
 // large deletion batches (the regime Theorem 9 targets).
 class ShatterSweep
-    : public ::testing::TestWithParam<std::tuple<level_search_kind, unsigned>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<level_search_kind, unsigned, sub_config>> {};
 
 TEST_P(ShatterSweep, LargeBatchLifecycle) {
   options o;
   o.search = std::get<0>(GetParam());
+  o = std::get<2>(GetParam()).apply(o);
   worker_pool_guard pool(std::get<1>(GetParam()));
   const vertex_id n = 256;
   batch_dynamic_connectivity dc(n, o);
@@ -160,12 +173,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(level_search_kind::interleaved,
                                          level_search_kind::simple,
                                          level_search_kind::scan_all),
-                       ::testing::ValuesIn(kWorkerGrid)),
-    [](const ::testing::TestParamInfo<std::tuple<level_search_kind, unsigned>>&
-           info) {
+                       ::testing::ValuesIn(kWorkerGrid),
+                       ::testing::ValuesIn(kSubConfigs)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<level_search_kind, unsigned, sub_config>>& info) {
       return "engine" +
              std::to_string(static_cast<int>(std::get<0>(info.param))) + "_w" +
-             workers_name(std::get<1>(info.param));
+             workers_name(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param).name;
     });
 
 }  // namespace

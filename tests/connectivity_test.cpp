@@ -17,7 +17,8 @@ namespace bdc {
 namespace {
 
 constexpr substrate kAllSubstrates[] = {substrate::skiplist,
-                                        substrate::treap};
+                                        substrate::treap,
+                                        substrate::blocked};
 
 void expect_healthy(const batch_dynamic_connectivity& dc,
                     const char* where) {

@@ -19,7 +19,8 @@ namespace bdc {
 namespace {
 
 constexpr substrate kAllSubstrates[] = {substrate::skiplist,
-                                        substrate::treap};
+                                        substrate::treap,
+                                        substrate::blocked};
 
 class EttSubstrate : public ::testing::TestWithParam<substrate> {
  protected:

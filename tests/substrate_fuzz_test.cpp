@@ -6,9 +6,13 @@
 //   * OracleLockstep — every round's query batch is verified against a
 //     union-find oracle REBUILT from scratch from the current tree-edge
 //     set, so an oracle bug cannot track a substrate bug.
-//   * CrossSubstrate — the skip-list and treap forests (which share no
-//     code) replay identical batch streams and must agree on every query,
-//     edge count, and component size.
+//   * CrossSubstrate — the skip-list, treap, and blocked forests (which
+//     share no code) replay identical batch streams and must agree on
+//     every query, edge count, and component size.
+//   * BdcDifferential — batch_dynamic_connectivity end-to-end (inserts
+//     and deletes with non-tree edges, replacement searches, level
+//     pushes) under every uniform substrate plus the mixed per-level
+//     policy, in lockstep with a from-scratch union-find oracle.
 //
 // The grid is {substrate} x {workers: 1, 2, hardware} x {batch size}, and
 // every stream seed is a deterministic function of those parameters, so a
@@ -21,18 +25,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "core/batch_connectivity.hpp"
 #include "ett/ett_substrate.hpp"
 #include "spanning/union_find.hpp"
+#include "test_substrates.hpp"
 #include "test_workers.hpp"
 #include "util/random.hpp"
 
 namespace bdc {
 namespace {
 
+using ::bdc::testing::kSubConfigs;
 using ::bdc::testing::worker_pool_guard;
 using ::bdc::testing::workers_name;
 
@@ -196,7 +204,13 @@ INSTANTIATE_TEST_SUITE_P(
         fuzz_params{substrate::treap, 2, 32},
         fuzz_params{substrate::treap, 2, 256},
         fuzz_params{substrate::treap, 0, 64},
-        fuzz_params{substrate::treap, 0, 256}),
+        fuzz_params{substrate::treap, 0, 256},
+        fuzz_params{substrate::blocked, 1, 4},
+        fuzz_params{substrate::blocked, 1, 64},
+        fuzz_params{substrate::blocked, 2, 32},
+        fuzz_params{substrate::blocked, 2, 256},
+        fuzz_params{substrate::blocked, 0, 64},
+        fuzz_params{substrate::blocked, 0, 256}),
     [](const ::testing::TestParamInfo<fuzz_params>& info) {
       return std::string(to_string(info.param.sub)) + "_w" +
              workers_name(info.param.workers) + "_b" +
@@ -204,7 +218,9 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------
-// Cross-substrate differential: skiplist vs treap on identical streams.
+// Cross-substrate differential: skiplist vs treap vs blocked on
+// identical streams. The three forests share no code, so any divergence
+// pins a bug on one of them.
 // ---------------------------------------------------------------------
 
 class CrossSubstrate
@@ -215,42 +231,47 @@ TEST_P(CrossSubstrate, IdenticalStreams) {
   worker_pool_guard pool(workers);
   const vertex_id n = n_for_batch(batch);
   const int rounds = fuzz_rounds();
+  constexpr substrate kSubs[] = {substrate::skiplist, substrate::treap,
+                                 substrate::blocked};
   for (int s = 0; s < fuzz_seeds(); ++s) {
     uint64_t seed = hash_combine(workers * 977 + 3, batch * 31 + 11) +
                     static_cast<uint64_t>(s);
     SCOPED_TRACE("repro: cross workers=" + workers_name(workers) +
                  " batch=" + std::to_string(batch) + " seed_index=" +
                  std::to_string(s) + " stream_seed=" + std::to_string(seed));
-    auto a = make_ett(substrate::skiplist, n, seed ^ 0xa);
-    auto b = make_ett(substrate::treap, n, seed ^ 0xb);
+    std::vector<std::unique_ptr<ett_substrate>> fs;
+    for (size_t i = 0; i < std::size(kSubs); ++i)
+      fs.push_back(make_ett(kSubs[i], n, seed ^ (0xa + i)));
     stream_state st(n, seed);
     for (int round = 0; round < rounds; ++round) {
       SCOPED_TRACE("round " + std::to_string(round));
       auto links = st.next_links(1 + st.rs.next(batch));
-      a->batch_link(links);
-      b->batch_link(links);
+      for (auto& f : fs) f->batch_link(links);
       if (round % 2 == 1) {
         auto cuts = st.next_cuts(1 + st.rs.next(batch));
-        a->batch_cut(cuts);
-        b->batch_cut(cuts);
+        for (auto& f : fs) f->batch_cut(cuts);
       }
-      ASSERT_EQ(a->num_edges(), b->num_edges());
+      for (auto& f : fs) ASSERT_EQ(f->num_edges(), fs[0]->num_edges());
       auto qs = st.next_queries(2 * batch + 16);
-      auto got_a = a->batch_connected(qs);
-      auto got_b = b->batch_connected(qs);
-      for (size_t q = 0; q < qs.size(); ++q) {
-        ASSERT_EQ(got_a[q], got_b[q])
-            << "query " << qs[q].first << "," << qs[q].second;
-      }
-      for (int probe = 0; probe < 8; ++probe) {
-        vertex_id v = static_cast<vertex_id>(st.rs.next(n));
-        ASSERT_EQ(a->component_counts(v).vertices,
-                  b->component_counts(v).vertices)
-            << "vertex " << v;
+      auto got_a = fs[0]->batch_connected(qs);
+      for (size_t fi = 1; fi < fs.size(); ++fi) {
+        SCOPED_TRACE(std::string("vs ") + to_string(kSubs[fi]));
+        auto got_b = fs[fi]->batch_connected(qs);
+        for (size_t q = 0; q < qs.size(); ++q) {
+          ASSERT_EQ(got_a[q], got_b[q])
+              << "query " << qs[q].first << "," << qs[q].second;
+        }
+        for (int probe = 0; probe < 8; ++probe) {
+          vertex_id v = static_cast<vertex_id>(st.rs.next(n));
+          ASSERT_EQ(fs[0]->component_counts(v).vertices,
+                    fs[fi]->component_counts(v).vertices)
+              << "vertex " << v;
+        }
       }
       if (round % 5 == 4) {
-        ASSERT_EQ(a->check_consistency(), "");
-        ASSERT_EQ(b->check_consistency(), "");
+        for (size_t fi = 0; fi < fs.size(); ++fi)
+          ASSERT_EQ(fs[fi]->check_consistency(), "")
+              << to_string(kSubs[fi]);
       }
     }
   }
@@ -265,6 +286,106 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<unsigned, size_t>{0, 32},
                       std::pair<unsigned, size_t>{0, 64},
                       std::pair<unsigned, size_t>{0, 256}),
+    [](const ::testing::TestParamInfo<std::pair<unsigned, size_t>>& info) {
+      return "w" + workers_name(info.param.first) + "_b" +
+             std::to_string(info.param.second);
+    });
+
+// ---------------------------------------------------------------------
+// End-to-end differential: batch_dynamic_connectivity under every
+// uniform substrate plus the mixed per-level policy, on one identical
+// insert/delete/query stream WITH non-tree edges — so replacement
+// searches, level pushes, and promotions all hit every backend. The
+// oracle is a union-find rebuilt from scratch each round.
+// ---------------------------------------------------------------------
+
+class BdcDifferential
+    : public ::testing::TestWithParam<std::pair<unsigned, size_t>> {};
+
+TEST_P(BdcDifferential, EndToEndMixedStream) {
+  const auto [workers, batch] = GetParam();
+  worker_pool_guard pool(workers);
+  const vertex_id n = n_for_batch(batch) / 2;
+  const int rounds = fuzz_rounds();
+  for (int s = 0; s < fuzz_seeds(); ++s) {
+    uint64_t seed = hash_combine(workers * 613 + 5, batch * 89 + 17) +
+                    static_cast<uint64_t>(s);
+    SCOPED_TRACE("repro: bdc workers=" + workers_name(workers) +
+                 " batch=" + std::to_string(batch) + " seed_index=" +
+                 std::to_string(s) + " stream_seed=" + std::to_string(seed) +
+                 " (widen with BDC_FUZZ_SEEDS / BDC_FUZZ_ROUNDS)");
+    std::vector<std::unique_ptr<batch_dynamic_connectivity>> dcs;
+    for (size_t ci = 0; ci < std::size(kSubConfigs); ++ci) {
+      options o;
+      o.seed = seed ^ (0x100 + ci);
+      o = kSubConfigs[ci].apply(o);
+      dcs.push_back(std::make_unique<batch_dynamic_connectivity>(n, o));
+    }
+    random_stream rs(seed);
+    std::set<std::pair<vertex_id, vertex_id>> present;
+    for (int round = 0; round < rounds; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      // Insertion batch: arbitrary edges (non-tree edges arise freely),
+      // plus deliberate garbage (duplicates, self loops).
+      std::vector<edge> ins;
+      size_t ni = 1 + static_cast<size_t>(rs.next(batch));
+      for (size_t t = 0; t < ni; ++t) {
+        vertex_id u = static_cast<vertex_id>(rs.next(n));
+        vertex_id v = static_cast<vertex_id>(rs.next(n));
+        ins.push_back({u, v});
+        if (rs.next(8) == 0) ins.push_back({v, u});
+      }
+      for (auto& dc : dcs) dc->batch_insert(ins);
+      for (auto e : ins)
+        if (!e.is_self_loop())
+          present.insert({e.canonical().u, e.canonical().v});
+
+      // Deletion batch: a random subset of present edges (tree and
+      // non-tree alike) plus a mostly-absent probe.
+      if (round % 2 == 1) {
+        std::vector<edge> del;
+        for (auto& pe : present)
+          if (rs.next(100) < 35) del.push_back({pe.first, pe.second});
+        del.push_back({static_cast<vertex_id>(rs.next(n)),
+                       static_cast<vertex_id>(rs.next(n))});
+        for (auto& dc : dcs) dc->batch_delete(del);
+        for (auto& e : del) present.erase({e.canonical().u, e.canonical().v});
+      }
+
+      // Oracle + cross-config agreement.
+      union_find oracle(n);
+      for (auto& pe : present) oracle.unite(pe.first, pe.second);
+      std::vector<std::pair<vertex_id, vertex_id>> qs(2 * batch + 16);
+      for (auto& q : qs)
+        q = {static_cast<vertex_id>(rs.next(n)),
+             static_cast<vertex_id>(rs.next(n))};
+      for (size_t ci = 0; ci < dcs.size(); ++ci) {
+        SCOPED_TRACE(kSubConfigs[ci].name);
+        ASSERT_EQ(dcs[ci]->num_edges(), present.size());
+        auto got = dcs[ci]->batch_connected(qs);
+        for (size_t q = 0; q < qs.size(); ++q) {
+          ASSERT_EQ(got[q], oracle.connected(qs[q].first, qs[q].second))
+              << "query " << qs[q].first << "," << qs[q].second;
+        }
+      }
+      if (round % 5 == 4 || round == rounds - 1) {
+        for (size_t ci = 0; ci < dcs.size(); ++ci) {
+          SCOPED_TRACE(kSubConfigs[ci].name);
+          auto rep = dcs[ci]->check_invariants();
+          ASSERT_TRUE(rep.ok) << rep.message;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BdcDifferential,
+    ::testing::Values(std::pair<unsigned, size_t>{1, 16},
+                      std::pair<unsigned, size_t>{1, 96},
+                      std::pair<unsigned, size_t>{2, 48},
+                      std::pair<unsigned, size_t>{0, 16},
+                      std::pair<unsigned, size_t>{0, 96}),
     [](const ::testing::TestParamInfo<std::pair<unsigned, size_t>>& info) {
       return "w" + workers_name(info.param.first) + "_b" +
              std::to_string(info.param.second);

@@ -1,0 +1,36 @@
+// Shared test helper: the substrate configurations the differential
+// suites sweep — every uniform backend plus the mixed per-level policy.
+// One table, included by connectivity_property_test and
+// substrate_fuzz_test, so the property sweep and the fuzz differential
+// can never drift onto different grids when a substrate or policy shape
+// is added.
+#pragma once
+
+#include "core/batch_connectivity.hpp"
+#include "ett/ett_substrate.hpp"
+
+namespace bdc::testing {
+
+// A substrate configuration: a uniform backend, or the mixed per-level
+// policy (options::policy) handing the low levels to the blocked
+// representation.
+struct sub_config {
+  const char* name;
+  substrate sub;
+  level_policy policy;
+
+  [[nodiscard]] options apply(options o) const {
+    o.substrate = sub;
+    o.policy = policy;
+    return o;
+  }
+};
+
+inline constexpr sub_config kSubConfigs[] = {
+    {"skiplist", substrate::skiplist, {}},
+    {"treap", substrate::treap, {}},
+    {"blocked", substrate::blocked, {}},
+    {"mixed", substrate::skiplist, {4, substrate::blocked}},
+};
+
+}  // namespace bdc::testing

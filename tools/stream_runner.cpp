@@ -5,15 +5,21 @@
 //
 // Usage:
 //   stream_runner gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
-//   stream_runner run [--substrate=skiplist|treap] [--workers=N]
+//   stream_runner run [--substrate=skiplist|treap|blocked]
+//                     [--policy=<substrate>:<threshold>] [--workers=N]
 //                     <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
 //                      incremental> <stream-file>
 //   stream_runner            (no args: self-demo on a generated stream)
 //
 // --substrate selects the Euler-tour backend of the dynamic structures;
+// --policy=<substrate>:<threshold> additionally hands every level below
+// <threshold> to <substrate> (per-level substrate mixing, e.g.
+// --policy=blocked:8 for blocked tours on the bottom eight levels);
 // --workers rebuilds the scheduler pool before the replay (equivalent to
 // BDC_NUM_WORKERS, but scoped to this run). After a replay the cumulative
-// `statistics` counters of the structure are printed.
+// `statistics` counters of the structure are printed, along with the
+// aggregated node-pool report (allocation traffic, retained bytes, and
+// how much a high-watermark trim releases).
 //
 // Stream file format (text): first line "n <N>", then one line per batch:
 //   I <u1> <v1> <u2> <v2> ...     insertion batch
@@ -162,6 +168,22 @@ void print_report(const char* name, const replay_report& r) {
               r.connected_answers);
 }
 
+void print_pool_report(batch_dynamic_connectivity& s) {
+  auto p = s.pool_stats();
+  double kib = 1024.0;
+  std::printf(
+      "  pool:  fresh %" PRIu64 " | recycled %" PRIu64 " | freed %" PRIu64
+      " | outstanding %" PRIu64 "\n"
+      "         blocks %" PRIu64 " (%.0f KiB retained, %" PRIu64
+      " spare) | trimmed so far %.0f KiB\n",
+      p.fresh, p.recycled, p.freed, p.outstanding(), p.blocks,
+      static_cast<double>(p.retained_bytes()) / kib, p.spare_blocks,
+      static_cast<double>(p.trimmed_bytes) / kib);
+  size_t released = s.trim_pools();
+  std::printf("         high-watermark trim now: %.0f KiB released\n",
+              static_cast<double>(released) / kib);
+}
+
 void print_statistics(const statistics& st) {
   std::printf(
       "  stats: batches ins/del %" PRIu64 "/%" PRIu64 " | edges ins/del %"
@@ -186,7 +208,8 @@ void print_statistics(const hdt_connectivity::statistics& st) {
 }
 
 int run_structure(const std::string& which, vertex_id n,
-                  const update_stream& stream, substrate sub) {
+                  const update_stream& stream, substrate sub,
+                  level_policy policy) {
   if (which == "dynamic" || which == "dynamic-simple" ||
       which == "dynamic-scanall") {
     options o;
@@ -194,10 +217,17 @@ int run_structure(const std::string& which, vertex_id n,
                : which == "dynamic-simple" ? level_search_kind::simple
                                            : level_search_kind::scan_all;
     o.substrate = sub;
+    o.policy = policy;
     batch_dynamic_connectivity s(n, o);
     std::string label = which + "/" + to_string(sub);
+    if (policy.mixed()) {
+      label += "+";
+      label += to_string(policy.low);
+      label += "<" + std::to_string(policy.threshold);
+    }
     print_report(label.c_str(), replay(s, stream));
     print_statistics(s.stats());
+    print_pool_report(s);
   } else if (which == "hdt") {
     hdt_connectivity s(n);
     print_report("hdt", replay(s, stream));
@@ -221,13 +251,20 @@ int self_demo() {
   const vertex_id n = 4096;
   auto graph = gen_erdos_renyi(n, 4 * n, 1);
   auto stream = make_deletion_stream(graph, n, 1024, 512, 256, 2);
-  // The dynamic structure runs once per substrate (a built-in A/B pass).
-  for (substrate sub : {substrate::skiplist, substrate::treap}) {
-    if (int rc = run_structure("dynamic", n, stream, sub); rc != 0)
+  // The dynamic structure runs once per substrate plus once under the
+  // mixed per-level policy (a built-in uniform-vs-mixed A/B pass).
+  for (substrate sub :
+       {substrate::skiplist, substrate::treap, substrate::blocked}) {
+    if (int rc = run_structure("dynamic", n, stream, sub, {}); rc != 0)
       return rc;
   }
+  if (int rc = run_structure("dynamic", n, stream, substrate::skiplist,
+                             level_policy{8, substrate::blocked});
+      rc != 0)
+    return rc;
   for (const char* s : {"dynamic-simple", "hdt", "static"}) {
-    if (int rc = run_structure(s, n, stream, substrate::skiplist); rc != 0)
+    if (int rc = run_structure(s, n, stream, substrate::skiplist, {});
+        rc != 0)
       return rc;
   }
   return 0;
@@ -237,7 +274,8 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
-               "  %s run [--substrate=skiplist|treap] [--workers=N] "
+               "  %s run [--substrate=skiplist|treap|blocked] "
+               "[--policy=<substrate>:<threshold>] [--workers=N] "
                "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
                "static|incremental> <stream-file>\n"
                "  %s                (self-demo)\n",
@@ -252,6 +290,7 @@ int main(int argc, char** argv) {
 
   // Flags may appear anywhere; everything else is positional.
   substrate sub = substrate::skiplist;
+  level_policy policy;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -262,6 +301,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       sub = *parsed;
+    } else if (a.rfind("--policy=", 0) == 0) {
+      std::string spec = a.substr(9);
+      size_t colon = spec.find(':');
+      auto parsed = substrate_from_string(spec.substr(0, colon));
+      int threshold = 0;
+      if (colon != std::string::npos) {
+        char* end = nullptr;
+        errno = 0;
+        long t = std::strtol(spec.c_str() + colon + 1, &end, 10);
+        if (errno == 0 && end != spec.c_str() + colon + 1 && *end == '\0' &&
+            t > 0 && t <= 64)
+          threshold = static_cast<int>(t);
+      }
+      if (!parsed || threshold == 0) {
+        std::fprintf(stderr,
+                     "bad --policy value '%s' (want <substrate>:<level "
+                     "threshold>, e.g. blocked:8)\n",
+                     spec.c_str());
+        return 2;
+      }
+      policy = level_policy{threshold, *parsed};
     } else if (a.rfind("--workers=", 0) == 0) {
       const char* value = a.c_str() + 10;
       char* end = nullptr;
@@ -317,7 +377,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read stream file '%s'\n", args[2].c_str());
       return 2;
     }
-    return run_structure(args[1], n, stream, sub);
+    return run_structure(args[1], n, stream, sub, policy);
   }
   return usage(argv[0]);
 }
