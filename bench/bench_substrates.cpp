@@ -15,7 +15,12 @@
 //     and mixed per-level substrate configurations.
 #include <benchmark/benchmark.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "core/batch_connectivity.hpp"
+#include "ett/ett_forest.hpp"
 #include "ett/ett_substrate.hpp"
 #include "gen/graph_gen.hpp"
 #include "gen/update_stream.hpp"
@@ -158,6 +163,111 @@ BENCHMARK(BM_SubstrateCountsAndFetch)
     ->Arg(1)
     ->Arg(2)
     ->ArgName("substrate");
+
+// ---------------------------------------------------------------------
+// Dispatch A/B (ROADMAP "static dispatch variant"): the identical hot
+// workload routed through ett_forest under both dispatch modes. Arg(0):
+// dispatch (0 = static variant, 1 = virtual bridge); Arg(1): substrate.
+// BM_DispatchFindRep and BM_DispatchConnected are the per-element
+// regime — the dispatch is hoisted once per loop (visit), so the static
+// rows pay N direct calls where the virtual rows pay N indirect calls.
+// BM_DispatchBatchConnected and BM_DispatchLinkCut are the
+// one-dispatch-per-batch regime, where the delta should be a wash.
+// ---------------------------------------------------------------------
+
+namespace {
+dispatch dispatch_of(const benchmark::State& state) {
+  return state.range(0) == 1 ? dispatch::virtual_bridge
+                             : dispatch::static_variant;
+}
+
+substrate substrate_of_arg1(const benchmark::State& state) {
+  switch (state.range(1)) {
+    case 1:
+      return substrate::treap;
+    case 2:
+      return substrate::blocked;
+    default:
+      return substrate::skiplist;
+  }
+}
+
+void set_dispatch_label(benchmark::State& state) {
+  state.SetLabel(std::string(to_string(dispatch_of(state))) + "/" +
+                 to_string(substrate_of_arg1(state)));
+}
+}  // namespace
+
+static void BM_DispatchFindRep(benchmark::State& state) {
+  ett_forest f(substrate_of_arg1(state), kEttN, 31, dispatch_of(state));
+  f.batch_link(gen_random_forest(kEttN, 64, 32));
+  // Shuffled probe order: real fetch/expand loops walk scattered ids.
+  std::vector<vertex_id> vs(kEttN);
+  bdc::random r(33);
+  for (size_t i = 0; i < vs.size(); ++i)
+    vs[i] = static_cast<vertex_id>(r.ith_rand(i, kEttN));
+  for (auto _ : state) {
+    f.visit([&](auto& fc) {
+      for (vertex_id v : vs) benchmark::DoNotOptimize(fc.find_rep(v));
+    });
+  }
+  set_dispatch_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(vs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DispatchFindRep)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->ArgNames({"dispatch", "substrate"});
+
+static void BM_DispatchConnected(benchmark::State& state) {
+  ett_forest f(substrate_of_arg1(state), kEttN, 35, dispatch_of(state));
+  f.batch_link(gen_random_forest(kEttN, 64, 36));
+  auto qs = make_query_batch(kEttN, 4096, 37);
+  for (auto _ : state) {
+    f.visit([&](auto& fc) {
+      for (auto& [u, v] : qs) benchmark::DoNotOptimize(fc.connected(u, v));
+    });
+  }
+  set_dispatch_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(qs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DispatchConnected)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->ArgNames({"dispatch", "substrate"});
+
+static void BM_DispatchBatchConnected(benchmark::State& state) {
+  ett_forest f(substrate_of_arg1(state), kEttN, 13, dispatch_of(state));
+  f.batch_link(gen_random_forest(kEttN, 16, 14));
+  auto qs = make_query_batch(kEttN, 4096, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.batch_connected(qs));
+  }
+  set_dispatch_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(qs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DispatchBatchConnected)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->ArgNames({"dispatch", "substrate"});
+
+static void BM_DispatchLinkCut(benchmark::State& state) {
+  const size_t k = 256;
+  ett_forest f(substrate_of_arg1(state), kEttN, 11, dispatch_of(state));
+  auto forest_edges = gen_random_forest(kEttN, kEttN - k, 12);
+  forest_edges.resize(std::min(forest_edges.size(), k));
+  std::span<const edge> batch(forest_edges.data(), forest_edges.size());
+  for (auto _ : state) {
+    f.batch_link(batch);
+    f.batch_cut(batch);
+  }
+  set_dispatch_label(state);
+  state.SetItemsProcessed(static_cast<int64_t>(2 * batch.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DispatchLinkCut)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->ArgNames({"dispatch", "substrate"});
 
 // ---------------------------------------------------------------------
 // The small-component regime (De Man et al. 2024): a forest of many

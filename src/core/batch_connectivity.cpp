@@ -26,12 +26,19 @@ namespace bdc {
 
 namespace {
 
-/// Canonicalizes, dedupes, and drops self-loops.
-std::vector<edge> sanitize(std::span<const edge> edges) {
+/// Canonicalizes, dedupes, and drops self-loops and edges with an
+/// endpoint outside [0, n). The range check is the public API's only
+/// defense: an out-of-range id that slips through (e.g. from a truncated
+/// or hand-edited stream file) would flow into batch_find_rep and the
+/// substrates' per-vertex arrays and index out of bounds.
+std::vector<edge> sanitize(std::span<const edge> edges, vertex_id n) {
   std::vector<edge> clean(edges.size());
   parallel_for(0, edges.size(),
                [&](size_t i) { clean[i] = edges[i].canonical(); });
-  clean = filter(clean, [](const edge& e) { return !e.is_self_loop(); });
+  clean = filter(clean, [n](const edge& e) {
+    // Canonical form has u <= v, so v < n bounds both endpoints.
+    return !e.is_self_loop() && e.v < n;
+  });
   sort_unique(clean);
   return clean;
 }
@@ -43,33 +50,73 @@ void dedupe(std::vector<edge>& es) { sort_unique(es); }
 
 batch_dynamic_connectivity::batch_dynamic_connectivity(vertex_id n,
                                                        options opts)
-    : opts_(opts), ls_(n, opts.seed, opts.substrate, opts.policy) {}
+    : opts_(opts),
+      ls_(n, opts.seed, opts.substrate, opts.policy, opts.dispatch) {}
+
+std::string config_label(const options& opts) {
+  std::string label = to_string(opts.substrate);
+  if (opts.policy.mixed() && opts.policy.low != opts.substrate) {
+    label += "+";
+    label += to_string(opts.policy.low);
+    label += "<" + std::to_string(opts.policy.threshold);
+  }
+  if (opts.dispatch == dispatch::virtual_bridge) label += "!virtual";
+  return label;
+}
 
 // ---------------------------------------------------------------------
 // Queries (Algorithm 1)
 // ---------------------------------------------------------------------
 
 bool batch_dynamic_connectivity::connected(vertex_id u, vertex_id v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
   return ls_.forest_if(ls_.top())->connected(u, v);
 }
 
 std::vector<bool> batch_dynamic_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> queries) const {
-  return ls_.forest_if(ls_.top())->batch_connected(queries);
+  const vertex_id n = num_vertices();
+  // n == 0 has no in-range probe to remap hostile queries onto (every id
+  // is out of range), so answer directly.
+  if (n == 0) return std::vector<bool>(queries.size(), false);
+  std::atomic<bool> any_hostile{false};
+  parallel_for(0, queries.size(), [&](size_t i) {
+    if (queries[i].first >= n || queries[i].second >= n)
+      any_hostile.store(true, std::memory_order_relaxed);
+  });
+  const ett_forest* top = ls_.forest_if(ls_.top());
+  if (!any_hostile.load(std::memory_order_relaxed))
+    return top->batch_connected(queries);
+  // Slow path: remap out-of-range queries onto a harmless probe, then
+  // overwrite their answers with the defined result (false).
+  std::vector<std::pair<vertex_id, vertex_id>> safe(queries.begin(),
+                                                    queries.end());
+  parallel_for(0, safe.size(), [&](size_t i) {
+    if (safe[i].first >= n || safe[i].second >= n) safe[i] = {0, 0};
+  });
+  auto out = top->batch_connected(safe);
+  for (size_t i = 0; i < queries.size(); ++i)
+    if (queries[i].first >= n || queries[i].second >= n) out[i] = false;
+  return out;
 }
 
 size_t batch_dynamic_connectivity::component_size(vertex_id v) const {
+  if (v >= num_vertices()) return 0;
   return ls_.forest_if(ls_.top())->component_size(v);
 }
 
 std::vector<vertex_id> batch_dynamic_connectivity::components() const {
   size_t n = num_vertices();
-  const ett_substrate* top = ls_.forest_if(ls_.top());
+  const ett_forest* top = ls_.forest_if(ls_.top());
   std::vector<std::pair<uint64_t, vertex_id>> rep_vertex(n);
-  parallel_for(0, n, [&](size_t v) {
-    rep_vertex[v] = {reinterpret_cast<uint64_t>(
-                         top->find_rep(static_cast<vertex_id>(v))),
-                     static_cast<vertex_id>(v)};
+  // One dispatch for the whole scan; find_rep is a direct (and for the
+  // blocked substrate O(1)) call inside the loop.
+  top->visit([&](auto& f) {
+    parallel_for(0, n, [&](size_t v) {
+      rep_vertex[v] = {reinterpret_cast<uint64_t>(
+                           f.find_rep(static_cast<vertex_id>(v))),
+                       static_cast<vertex_id>(v)};
+    });
   });
   auto groups = group_by_key(std::move(rep_vertex));
   std::vector<vertex_id> labels(n);
@@ -89,7 +136,7 @@ std::vector<vertex_id> batch_dynamic_connectivity::components() const {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
-  std::vector<edge> clean = sanitize(edges);
+  std::vector<edge> clean = sanitize(edges, num_vertices());
   clean = filter(clean, [&](const edge& e) { return !has_edge(e); });
   size_t k = clean.size();
   stats_.batches_inserted++;
@@ -97,7 +144,7 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
   if (k == 0) return;
 
   int top = ls_.top();
-  ett_substrate& f = ls_.forest(top);
+  ett_forest& f = ls_.forest(top);
 
   // Contract current components and find which edges grow the forest.
   std::vector<vertex_id> endpoints(2 * k);
@@ -136,7 +183,7 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
-  std::vector<edge> clean = sanitize(edges);
+  std::vector<edge> clean = sanitize(edges, num_vertices());
   clean = filter(clean, [&](const edge& e) { return has_edge(e); });
   size_t k = clean.size();
   stats_.batches_deleted++;
@@ -214,7 +261,7 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
 std::vector<batch_dynamic_connectivity::piece>
 batch_dynamic_connectivity::resolve_pieces(
     int level, std::span<const vertex_id> seeds) const {
-  const ett_substrate* f = ls_.forest_if(level);
+  const ett_forest* f = ls_.forest_if(level);
   assert(f != nullptr);
   auto reps = f->batch_find_rep(seeds);
   // Dedupe by representative, keeping one seed per piece.
@@ -228,11 +275,13 @@ batch_dynamic_connectivity::resolve_pieces(
     if (i > 0 && pairs[i].first == pairs[i - 1].first) continue;
     out.push_back({pairs[i].second, pairs[i].first, 0, 0, 0});
   }
-  parallel_for(0, out.size(), [&](size_t i) {
-    ett_counts c = f->component_counts(out[i].seed);
-    out[i].size = c.vertices;
-    out[i].nontree_slots = c.nontree_edges;
-    out[i].tree_slots = c.tree_edges;
+  f->visit([&](auto& fc) {
+    parallel_for(0, out.size(), [&](size_t i) {
+      ett_counts c = fc.component_counts(out[i].seed);
+      out[i].size = c.vertices;
+      out[i].nontree_slots = c.nontree_edges;
+      out[i].tree_slots = c.tree_edges;
+    });
   });
   return out;
 }
@@ -240,7 +289,7 @@ batch_dynamic_connectivity::resolve_pieces(
 void batch_dynamic_connectivity::push_tree_edges(
     int level, const std::vector<piece>& active) {
   if (level == 0 || active.empty()) return;
-  ett_substrate& f = ls_.forest(level);
+  ett_forest& f = ls_.forest(level);
   // Gather every level-`level` tree edge of every active piece.
   std::vector<std::vector<edge>> per_piece(active.size());
   parallel_for(
@@ -281,7 +330,7 @@ std::vector<edge> batch_dynamic_connectivity::fetch_nontree_edges(
 void batch_dynamic_connectivity::level_search_simple(
     int level, std::span<const vertex_id> seeds, std::vector<edge>& buffered,
     bool scan_all) {
-  ett_substrate& f = ls_.forest(level);
+  ett_forest& f = ls_.forest(level);
   f.batch_link(buffered);  // line 2: commit lower-level discoveries
 
   uint64_t active_cap = ls_.capacity(level) / 2;
@@ -321,14 +370,18 @@ void batch_dynamic_connectivity::level_search_simple(
         auto ec = fetch_nontree_edges(level, p, csz);
         res[i].fetched += ec.size();
         // First replacement: endpoints in different pieces of F_level.
+        // One dispatch for the whole probe scan (the per-element
+        // connectivity checks are direct calls inside the visit arm).
         std::atomic<size_t> first{ec.size()};
-        parallel_for(0, ec.size(), [&](size_t j) {
-          if (!f.connected(ec[j].u, ec[j].v)) {
-            size_t cur = first.load(std::memory_order_relaxed);
-            while (j < cur && !first.compare_exchange_weak(
-                                  cur, j, std::memory_order_relaxed)) {
+        f.visit([&](auto& fc) {
+          parallel_for(0, ec.size(), [&](size_t j) {
+            if (!fc.connected(ec[j].u, ec[j].v)) {
+              size_t cur = first.load(std::memory_order_relaxed);
+              while (j < cur && !first.compare_exchange_weak(
+                                    cur, j, std::memory_order_relaxed)) {
+              }
             }
-          }
+          });
         });
         size_t fi = first.load(std::memory_order_relaxed);
         if (fi < ec.size()) {
@@ -417,7 +470,7 @@ void batch_dynamic_connectivity::level_search_simple(
 void batch_dynamic_connectivity::level_search_interleaved(
     int level, std::span<const vertex_id> seeds,
     std::vector<edge>& buffered) {
-  ett_substrate& f = ls_.forest(level);
+  ett_forest& f = ls_.forest(level);
   f.batch_link(buffered);  // line 2
 
   uint64_t active_cap = ls_.capacity(level) / 2;
@@ -482,15 +535,19 @@ void batch_dynamic_connectivity::level_search_interleaved(
 
     // Identify replacement edges (endpoints in different F_level pieces;
     // F_level is static for the whole level, so reps never go stale).
+    // One dispatch for the whole phase: the per-edge connectivity checks
+    // inside the filter are direct calls in the visit arm.
     std::vector<std::vector<edge>> repl_chunks(probes.size());
-    parallel_for(
-        0, probes.size(),
-        [&](size_t j) {
-          repl_chunks[j] = filter(probes[j].ec, [&](const edge& e) {
-            return !f.connected(e.u, e.v);
-          });
-        },
-        1);
+    f.visit([&](auto& fc) {
+      parallel_for(
+          0, probes.size(),
+          [&](size_t j) {
+            repl_chunks[j] = filter(probes[j].ec, [&](const edge& e) {
+              return !fc.connected(e.u, e.v);
+            });
+          },
+          1);
+    });
     std::vector<edge> repl = flatten(repl_chunks);
     dedupe(repl);
     std::unordered_set<uint64_t> repl_keys;
@@ -661,7 +718,7 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
 
   // Substrate health + per-level structural checks.
   for (int i = 0; i <= top; ++i) {
-    const ett_substrate* f = ls_.forest_if(i);
+    const ett_forest* f = ls_.forest_if(i);
     if (f == nullptr) continue;
     if (auto err = f->check_consistency(); !err.empty())
       return fail("level " + std::to_string(i) + " ETT: " + err);
@@ -713,14 +770,14 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
     edge e = edge_from_key(key);
     if (rec.level < 0 || rec.level > top) return fail("bad edge level");
     for (int i = 0; i <= top; ++i) {
-      const ett_substrate* f = ls_.forest_if(i);
+      const ett_forest* f = ls_.forest_if(i);
       bool should = rec.is_tree && rec.level <= i;
       bool present = f != nullptr && f->has_edge(e);
       if (should != present)
         return fail("edge placement violated at level " + std::to_string(i));
     }
     if (!rec.is_tree) {
-      const ett_substrate* f = ls_.forest_if(rec.level);
+      const ett_forest* f = ls_.forest_if(rec.level);
       if (f == nullptr || !f->connected(e.u, e.v))
         return fail("non-tree edge's endpoints not connected at its level "
                     "(Invariant 2)");

@@ -47,10 +47,23 @@ struct options {
   /// Per-level substrate mixing: levels below policy.threshold use
   /// policy.low instead of `substrate` (e.g. the cache-packed blocked
   /// representation where components are guaranteed tiny). The default
-  /// (threshold 0) is uniform.
+  /// (threshold 0) is uniform; a policy whose low substrate equals
+  /// `substrate` is normalized to uniform at construction.
   level_policy policy;
+  /// How forests route substrate calls: the devirtualized std::variant
+  /// fast path (default) or the ett_substrate virtual bridge (escape
+  /// hatch / A-B baseline). See src/ett/ett_forest.hpp.
+  bdc::dispatch dispatch = bdc::dispatch::static_variant;
   uint64_t seed = 0xbdc5eed;
 };
+
+/// Canonical human-readable label of an options configuration for A/B
+/// reports (stream_runner, benchmarks): "<substrate>", plus
+/// "+<low><<threshold>" when a (normalized) mixed policy is active, plus
+/// "!virtual" when the virtual-bridge dispatch escape hatch is forced.
+/// Applies the same policy normalization as construction, so a nominally
+/// mixed configuration that is actually uniform is labelled uniform.
+[[nodiscard]] std::string config_label(const options& opts);
 
 /// Cumulative instrumentation (benchmarks E4/E9 and the paper's
 /// depth/work accounting). All counters are totals since construction.
@@ -81,17 +94,20 @@ class batch_dynamic_connectivity {
   [[nodiscard]] size_t num_edges() const { return ls_.num_edges(); }
   [[nodiscard]] int num_levels() const { return ls_.num_levels(); }
 
-  /// Inserts a batch of edges. Self-loops, duplicates within the batch, and
-  /// edges already present are ignored. (Algorithm 2.)
+  /// Inserts a batch of edges. Self-loops, duplicates within the batch,
+  /// edges already present, and edges with an endpoint outside [0, n) are
+  /// ignored. (Algorithm 2.)
   void batch_insert(std::span<const edge> edges);
   void insert(edge e) { batch_insert({&e, 1}); }
 
-  /// Deletes a batch of edges; entries not currently present are ignored.
-  /// (Algorithm 3 + the configured level search.)
+  /// Deletes a batch of edges; entries not currently present (including
+  /// any with an endpoint outside [0, n)) are ignored. (Algorithm 3 + the
+  /// configured level search.)
   void batch_delete(std::span<const edge> edges);
   void erase(edge e) { batch_delete({&e, 1}); }
 
-  /// Answers k connectivity queries. (Algorithm 1.)
+  /// Answers k connectivity queries. A query with an endpoint outside
+  /// [0, n) answers false. (Algorithm 1.)
   [[nodiscard]] std::vector<bool> batch_connected(
       std::span<const std::pair<vertex_id, vertex_id>> queries) const;
   [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
@@ -100,7 +116,8 @@ class batch_dynamic_connectivity {
     return ls_.record_of(e) != nullptr;
   }
 
-  /// Size (vertex count) of v's connected component.
+  /// Size (vertex count) of v's connected component; 0 for an id outside
+  /// [0, n).
   [[nodiscard]] size_t component_size(vertex_id v) const;
 
   /// Component labels: labels[v] == labels[u] iff connected; the label is

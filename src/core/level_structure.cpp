@@ -9,8 +9,14 @@
 namespace bdc {
 
 level_structure::level_structure(vertex_id n, uint64_t seed,
-                                 bdc::substrate sub, level_policy policy)
-    : n_(n), seed_(seed), substrate_(sub), policy_(policy), dict_(256) {
+                                 bdc::substrate sub, level_policy policy,
+                                 bdc::dispatch disp)
+    : n_(n), seed_(seed), substrate_(sub), policy_(policy), dispatch_(disp),
+      dict_(256) {
+  // A "mixed" policy whose low substrate equals the primary one is
+  // uniform in everything but name; normalize it away so policy().mixed()
+  // and the configuration labels built from it cannot lie in A/B reports.
+  if (policy_.low == substrate_) policy_ = {};
   int levels = std::max(1, static_cast<int>(log2_ceil(std::max<uint64_t>(
                                2, static_cast<uint64_t>(n)))));
   levels_.resize(static_cast<size_t>(levels));
@@ -18,12 +24,12 @@ level_structure::level_structure(vertex_id n, uint64_t seed,
   (void)forest(top());
 }
 
-ett_substrate& level_structure::forest(int level) {
+ett_forest& level_structure::forest(int level) {
   auto& slot = levels_[static_cast<size_t>(level)].forest;
   if (!slot) {
-    slot = make_ett(
-        substrate_at(level), n_,
-        hash_combine(seed_, 0x10000u + static_cast<uint64_t>(level)));
+    slot.emplace(substrate_at(level), n_,
+                 hash_combine(seed_, 0x10000u + static_cast<uint64_t>(level)),
+                 dispatch_);
   }
   return *slot;
 }

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "adjacency/leveled_adjacency.hpp"
+#include "ett/ett_forest.hpp"
 #include "ett/ett_substrate.hpp"
 #include "util/bits.hpp"
 #include "util/types.hpp"
@@ -29,7 +31,10 @@ namespace bdc {
 /// sequential representation there can beat the pointer structures the
 /// huge top-level components need. Levels strictly below `threshold` use
 /// `low`; the rest use the structure's primary substrate. threshold <= 0
-/// disables mixing.
+/// disables mixing. A policy whose `low` equals the primary substrate is
+/// normalized to no-mixing at construction, so `mixed()` (and every A/B
+/// label derived from it) never claims a configuration that is actually
+/// uniform.
 struct level_policy {
   int threshold = 0;
   bdc::substrate low = bdc::substrate::blocked;
@@ -42,7 +47,8 @@ class level_structure {
  public:
   level_structure(vertex_id n, uint64_t seed,
                   bdc::substrate sub = substrate::skiplist,
-                  level_policy policy = {});
+                  level_policy policy = {},
+                  bdc::dispatch disp = dispatch::static_variant);
 
   [[nodiscard]] vertex_id num_vertices() const { return n_; }
   [[nodiscard]] int num_levels() const {
@@ -63,6 +69,9 @@ class level_structure {
     return level < policy_.threshold ? policy_.low : substrate_;
   }
   [[nodiscard]] const level_policy& policy() const { return policy_; }
+  /// How every materialized forest routes substrate calls (static variant
+  /// fast path vs the virtual bridge; see ett_forest).
+  [[nodiscard]] bdc::dispatch dispatch_kind() const { return dispatch_; }
 
   /// Aggregated node-pool counters across every materialized forest.
   [[nodiscard]] node_pool::stats_snapshot pool_stats() const;
@@ -71,14 +80,18 @@ class level_structure {
   /// total bytes released. Quiescence required.
   size_t trim_pools(size_t keep_bytes = 0);
 
-  /// F_i; materializes it if needed.
-  ett_substrate& forest(int level);
+  /// F_i; materializes it if needed. The returned ett_forest pins the
+  /// concrete substrate type, so hot paths can hoist dispatch with
+  /// forest(i).visit(...).
+  ett_forest& forest(int level);
   /// F_i if materialized, else nullptr (read paths).
-  [[nodiscard]] const ett_substrate* forest_if(int level) const {
-    return levels_[static_cast<size_t>(level)].forest.get();
+  [[nodiscard]] const ett_forest* forest_if(int level) const {
+    const auto& slot = levels_[static_cast<size_t>(level)].forest;
+    return slot ? &*slot : nullptr;
   }
-  [[nodiscard]] ett_substrate* forest_if(int level) {
-    return levels_[static_cast<size_t>(level)].forest.get();
+  [[nodiscard]] ett_forest* forest_if(int level) {
+    auto& slot = levels_[static_cast<size_t>(level)].forest;
+    return slot ? &*slot : nullptr;
   }
 
   leveled_adjacency& adj(int level);
@@ -143,7 +156,7 @@ class level_structure {
 
  private:
   struct level_state {
-    std::unique_ptr<ett_substrate> forest;
+    std::optional<ett_forest> forest;
     std::unique_ptr<leveled_adjacency> adjacency;
   };
 
@@ -157,6 +170,7 @@ class level_structure {
   uint64_t seed_;
   bdc::substrate substrate_;
   level_policy policy_;
+  bdc::dispatch dispatch_;
   std::vector<level_state> levels_;
   edge_dict dict_;
 };

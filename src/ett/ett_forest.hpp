@@ -1,0 +1,190 @@
+// Devirtualized substrate dispatch (ROADMAP "static dispatch variant").
+//
+// `ett_substrate` is a virtual bridge, which costs an indirect call per
+// forest operation — measurable exactly on the hot query paths the paper
+// makes cheap (the blocked substrate answers `connected`/`find_rep` with
+// O(1) pointer reads, so an indirect call is a large relative overhead).
+// `ett_forest` is the value type the level structure actually holds: it
+// owns the substrate through the base-class pointer but additionally pins
+// a `std::variant` view of the CONCRETE type at materialization time.
+// Every forwarder dispatches with `std::visit`, and because all three
+// substrates are `final`, the calls inside each visit arm are direct
+// (devirtualized, inlinable) member calls.
+//
+// Callers with per-element loops should hoist the dispatch once around
+// the whole loop instead of paying it per element:
+//
+//   forest.visit([&](auto& f) {            // one dispatch...
+//     parallel_for(0, k, [&](size_t i) {
+//       out[i] = f.connected(qs[i].first, qs[i].second);  // ...N direct calls
+//     });
+//   });
+//
+// The virtual bridge stays available two ways: `bridge()` exposes the
+// `ett_substrate&` for cold paths and generic tooling, and constructing
+// with `dispatch::virtual_bridge` pins the variant to the base-class
+// alternative — every forwarder then degenerates to the old virtual call,
+// which is what the A/B benchmarks (`BM_Dispatch*` in bench_substrates)
+// and the dispatch-parameterized test suites run against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "ett/blocked_ett.hpp"
+#include "ett/ett_counts.hpp"
+#include "ett/ett_substrate.hpp"
+#include "ett/euler_tour_tree.hpp"
+#include "ett/treap_ett.hpp"
+#include "util/node_pool.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+/// How an `ett_forest` routes its calls: through the concrete-type
+/// variant (default; devirtualized) or through the `ett_substrate`
+/// virtual bridge (escape hatch; also the A/B baseline).
+enum class dispatch : uint8_t {
+  static_variant,
+  virtual_bridge,
+};
+
+[[nodiscard]] const char* to_string(dispatch d);
+[[nodiscard]] std::optional<dispatch> dispatch_from_string(
+    std::string_view name);
+
+class ett_forest {
+ public:
+  using rep = ett_substrate::rep;
+  using count_delta = ett_substrate::count_delta;
+
+  /// Materializes an empty n-vertex forest over substrate `s`, pinning
+  /// the dispatch mode for the forest's lifetime.
+  ett_forest(bdc::substrate s, vertex_id n, uint64_t seed,
+             bdc::dispatch d = dispatch::static_variant);
+
+  ett_forest(ett_forest&&) noexcept = default;
+  ett_forest& operator=(ett_forest&&) noexcept = default;
+  ett_forest(const ett_forest&) = delete;
+  ett_forest& operator=(const ett_forest&) = delete;
+
+  [[nodiscard]] bdc::substrate substrate_kind() const { return kind_; }
+  [[nodiscard]] bdc::dispatch dispatch_kind() const { return dispatch_; }
+
+  /// The type-erased view, for cold paths and generic tooling.
+  [[nodiscard]] ett_substrate& bridge() { return *owner_; }
+  [[nodiscard]] const ett_substrate& bridge() const { return *owner_; }
+
+  /// One dispatch, then `fn` runs on the concrete substrate reference
+  /// (or on `ett_substrate&` under dispatch::virtual_bridge). Use this
+  /// to hoist the dispatch out of per-element loops.
+  template <typename F>
+  decltype(auto) visit(F&& fn) {
+    return std::visit([&](auto* f) -> decltype(auto) { return fn(*f); },
+                      view_);
+  }
+  template <typename F>
+  decltype(auto) visit(F&& fn) const {
+    return std::visit(
+        [&](auto* f) -> decltype(auto) { return fn(std::as_const(*f)); },
+        view_);
+  }
+
+  // ------------------------------------------------------------------
+  // Forwarders: the full ett_substrate surface, one visit per call.
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] size_t num_vertices() const {
+    return visit([](auto& f) { return f.num_vertices(); });
+  }
+  [[nodiscard]] size_t num_edges() const {
+    return visit([](auto& f) { return f.num_edges(); });
+  }
+
+  void batch_link(std::span<const edge> links) {
+    visit([&](auto& f) { f.batch_link(links); });
+  }
+  void batch_cut(std::span<const edge> cuts) {
+    visit([&](auto& f) { f.batch_cut(cuts); });
+  }
+  void batch_add_counts(std::span<const count_delta> deltas) {
+    visit([&](auto& f) { f.batch_add_counts(deltas); });
+  }
+  void link(edge e) { batch_link({&e, 1}); }
+  void cut(edge e) { batch_cut({&e, 1}); }
+
+  [[nodiscard]] bool has_edge(edge e) const {
+    return visit([&](auto& f) { return f.has_edge(e); });
+  }
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const {
+    return visit([&](auto& f) { return f.connected(u, v); });
+  }
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> queries) const {
+    return visit([&](auto& f) { return f.batch_connected(queries); });
+  }
+
+  [[nodiscard]] rep find_rep(vertex_id v) const {
+    return visit([&](auto& f) { return f.find_rep(v); });
+  }
+  [[nodiscard]] std::vector<rep> batch_find_rep(
+      std::span<const vertex_id> vs) const {
+    return visit([&](auto& f) { return f.batch_find_rep(vs); });
+  }
+
+  [[nodiscard]] ett_counts component_counts(vertex_id v) const {
+    return visit([&](auto& f) { return f.component_counts(v); });
+  }
+  [[nodiscard]] uint32_t component_size(vertex_id v) const {
+    return component_counts(v).vertices;
+  }
+  [[nodiscard]] ett_counts vertex_counts(vertex_id v) const {
+    return visit([&](auto& f) { return f.vertex_counts(v); });
+  }
+
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_nontree(
+      vertex_id v, uint64_t want) const {
+    return visit([&](auto& f) { return f.fetch_nontree(v, want); });
+  }
+  [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_tree(
+      vertex_id v, uint64_t want) const {
+    return visit([&](auto& f) { return f.fetch_tree(v, want); });
+  }
+
+  [[nodiscard]] std::vector<vertex_id> component_vertices(
+      vertex_id v) const {
+    return visit([&](auto& f) { return f.component_vertices(v); });
+  }
+
+  [[nodiscard]] std::string check_consistency() const {
+    return visit([](auto& f) { return f.check_consistency(); });
+  }
+
+  [[nodiscard]] node_pool::stats_snapshot pool_stats() const {
+    return owner_->pool_stats();
+  }
+  size_t trim_pool(size_t keep_bytes = 0) {
+    return owner_->trim_pool(keep_bytes);
+  }
+
+ private:
+  // Ownership always flows through the base pointer; the variant is a
+  // non-owning concrete-type view of the same object (or the base view
+  // under dispatch::virtual_bridge).
+  using view = std::variant<euler_tour_forest*, treap_ett*, blocked_ett*,
+                            ett_substrate*>;
+
+  std::unique_ptr<ett_substrate> owner_;
+  view view_;
+  bdc::substrate kind_;
+  bdc::dispatch dispatch_;
+};
+
+}  // namespace bdc

@@ -1,9 +1,11 @@
 // Core batch-dynamic connectivity tests: unit behaviours, edge cases, and
 // structured-graph scenarios, with full invariant validation after every
-// mutation. The whole suite is value-parameterized over the Euler-tour
-// substrate (options::substrate), so every scenario runs against both the
-// skip-list and the treap backend. Randomized cross-engine property tests
-// live in connectivity_property_test.cpp.
+// mutation. The whole suite is value-parameterized over the shared
+// substrate-config table (tests/test_substrates.hpp): every uniform
+// Euler-tour backend plus the mixed per-level policy, each under both the
+// devirtualized variant fast path and the virtual-bridge dispatch mode.
+// Randomized cross-engine property tests live in
+// connectivity_property_test.cpp.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -12,13 +14,13 @@
 
 #include "core/batch_connectivity.hpp"
 #include "gen/graph_gen.hpp"
+#include "test_substrates.hpp"
 
 namespace bdc {
 namespace {
 
-constexpr substrate kAllSubstrates[] = {substrate::skiplist,
-                                        substrate::treap,
-                                        substrate::blocked};
+using ::bdc::testing::kSubConfigs;
+using ::bdc::testing::sub_config;
 
 void expect_healthy(const batch_dynamic_connectivity& dc,
                     const char* where) {
@@ -26,19 +28,18 @@ void expect_healthy(const batch_dynamic_connectivity& dc,
   ASSERT_TRUE(rep.ok) << where << ": " << rep.message;
 }
 
-class Connectivity : public ::testing::TestWithParam<substrate> {
+class Connectivity : public ::testing::TestWithParam<sub_config> {
  protected:
   [[nodiscard]] options opts(
       level_search_kind k = level_search_kind::interleaved) const {
     options o;
     o.search = k;
-    o.substrate = GetParam();
-    return o;
+    return GetParam().apply(o);
   }
 };
 
-std::string substrate_name(const ::testing::TestParamInfo<substrate>& info) {
-  return to_string(info.param);
+std::string config_name(const ::testing::TestParamInfo<sub_config>& info) {
+  return info.param.name;
 }
 
 TEST_P(Connectivity, EmptyGraph) {
@@ -191,19 +192,117 @@ TEST_P(Connectivity, StatsProgress) {
   EXPECT_EQ(dc.stats().edges_deleted, 0u);
 }
 
+TEST_P(Connectivity, HostileVertexIdsDoNotCrash) {
+  // Regression (ISSUE 5): ids outside [0, n) — e.g. from a hand-edited
+  // or truncated stream file — used to flow straight into batch_find_rep
+  // and the substrates' per-vertex arrays. Every public entry point must
+  // now give the documented answer instead of indexing out of bounds.
+  const vertex_id n = 10;
+  batch_dynamic_connectivity dc(n, opts());
+  dc.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {3, 4}});
+
+  // Updates: out-of-range edges are dropped, valid ones still land.
+  std::vector<edge> hostile_ins = {{5, n},          {n, 5},
+                                   {70000, 70001},  {kNoVertex, 0},
+                                   {kNoVertex, kNoVertex}, {5, 6}};
+  dc.batch_insert(hostile_ins);
+  EXPECT_EQ(dc.num_edges(), 4u);
+  EXPECT_TRUE(dc.has_edge({5, 6}));
+  EXPECT_FALSE(dc.has_edge({5, n}));
+  expect_healthy(dc, "hostile-insert");
+
+  std::vector<edge> hostile_del = {{n, 5}, {70000, 70001}, {0, kNoVertex},
+                                   {1, 2}};
+  dc.batch_delete(hostile_del);
+  EXPECT_EQ(dc.num_edges(), 3u);
+  EXPECT_FALSE(dc.has_edge({1, 2}));
+  expect_healthy(dc, "hostile-delete");
+
+  // Queries: any out-of-range endpoint answers false / size 0.
+  EXPECT_FALSE(dc.connected(0, n));
+  EXPECT_FALSE(dc.connected(n, 0));
+  EXPECT_FALSE(dc.connected(kNoVertex, kNoVertex));
+  EXPECT_EQ(dc.component_size(n), 0u);
+  EXPECT_EQ(dc.component_size(kNoVertex), 0u);
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {
+      {0, 1}, {0, n}, {n, n}, {kNoVertex, 3}, {3, 4}, {70000, 2}};
+  auto ans = dc.batch_connected(qs);
+  EXPECT_EQ(ans,
+            (std::vector<bool>{true, false, false, false, true, false}));
+
+  // Single-edge conveniences route through the same validation.
+  dc.insert({n + 3, n + 4});
+  dc.erase({n + 3, n + 4});
+  EXPECT_EQ(dc.num_edges(), 3u);
+  expect_healthy(dc, "hostile-singles");
+}
+
+TEST_P(Connectivity, ZeroVertexStructure) {
+  // n == 0: EVERY id is out of range, including the {0,0} probe the
+  // batch query path remaps hostile queries onto (regression: this used
+  // to index an empty per-vertex array).
+  batch_dynamic_connectivity dc(0, opts());
+  EXPECT_EQ(dc.num_vertices(), 0u);
+  EXPECT_FALSE(dc.connected(0, 0));
+  EXPECT_EQ(dc.component_size(0), 0u);
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {{0, 0}, {1, 2}};
+  EXPECT_EQ(dc.batch_connected(qs), (std::vector<bool>{false, false}));
+  dc.insert({0, 1});
+  dc.erase({0, 1});
+  EXPECT_EQ(dc.num_edges(), 0u);
+  EXPECT_TRUE(dc.components().empty());
+  expect_healthy(dc, "n=0");
+}
+
 INSTANTIATE_TEST_SUITE_P(Substrates, Connectivity,
-                         ::testing::ValuesIn(kAllSubstrates),
-                         substrate_name);
+                         ::testing::ValuesIn(kSubConfigs), config_name);
+
+// ---------------------------------------------------------------------
+// Configuration-label normalization (ISSUE 5 satellite): a policy whose
+// low substrate equals the primary one is uniform, and neither the
+// structure nor any label derived from it may claim otherwise.
+// ---------------------------------------------------------------------
+
+TEST(ConfigLabel, UniformPolicyIsNormalized) {
+  options o;
+  o.substrate = substrate::blocked;
+  o.policy = level_policy{8, substrate::blocked};  // nominally "mixed"
+  EXPECT_EQ(config_label(o), "blocked");
+  batch_dynamic_connectivity dc(64, o);
+  EXPECT_FALSE(dc.levels().policy().mixed());
+  EXPECT_EQ(dc.levels().substrate_at(0), substrate::blocked);
+}
+
+TEST(ConfigLabel, GenuinelyMixedPolicyKeepsSuffix) {
+  options o;
+  o.substrate = substrate::skiplist;
+  o.policy = level_policy{3, substrate::blocked};
+  EXPECT_EQ(config_label(o), "skiplist+blocked<3");
+  batch_dynamic_connectivity dc(64, o);
+  EXPECT_TRUE(dc.levels().policy().mixed());
+  EXPECT_EQ(dc.levels().substrate_at(0), substrate::blocked);
+  EXPECT_EQ(dc.levels().substrate_at(dc.levels().top()),
+            substrate::skiplist);
+}
+
+TEST(ConfigLabel, VirtualBridgeSuffixAndThresholdZero) {
+  options o;
+  o.substrate = substrate::treap;
+  o.dispatch = dispatch::virtual_bridge;
+  EXPECT_EQ(config_label(o), "treap!virtual");
+  o.policy = level_policy{0, substrate::blocked};  // threshold 0 = uniform
+  EXPECT_EQ(config_label(o), "treap!virtual");
+}
 
 class EngineSweep
     : public ::testing::TestWithParam<
-          std::tuple<level_search_kind, substrate>> {};
+          std::tuple<level_search_kind, sub_config>> {};
 
 TEST_P(EngineSweep, DenseThenFullDeletion) {
-  auto [engine, sub] = GetParam();
+  auto [engine, cfg] = GetParam();
   options o;
   o.search = engine;
-  o.substrate = sub;
+  o = cfg.apply(o);
   const vertex_id n = 48;
   batch_dynamic_connectivity dc(n, o);
   auto es = gen_erdos_renyi(n, 400, 123);
@@ -224,13 +323,13 @@ TEST_P(EngineSweep, DenseThenFullDeletion) {
 }
 
 std::string engine_name(
-    const ::testing::TestParamInfo<std::tuple<level_search_kind, substrate>>&
-        info) {
+    const ::testing::TestParamInfo<
+        std::tuple<level_search_kind, sub_config>>& info) {
   level_search_kind engine = std::get<0>(info.param);
   const char* e = engine == level_search_kind::interleaved ? "interleaved"
                   : engine == level_search_kind::simple    ? "simple"
                                                            : "scanall";
-  return std::string(e) + "_" + to_string(std::get<1>(info.param));
+  return std::string(e) + "_" + std::get<1>(info.param).name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -238,7 +337,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(level_search_kind::interleaved,
                                          level_search_kind::simple,
                                          level_search_kind::scan_all),
-                       ::testing::ValuesIn(kAllSubstrates)),
+                       ::testing::ValuesIn(kSubConfigs)),
     engine_name);
 
 }  // namespace

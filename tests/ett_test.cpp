@@ -1,8 +1,11 @@
 // Euler-tour substrate tests, value-parameterized over every backend
-// (substrate::skiplist and substrate::treap): model-based randomized
-// batches of links/cuts against a union-find oracle, augmentation
-// counters, fetch primitives, and internal consistency after every batch.
-// Both substrates must satisfy the identical ett_substrate contract.
+// (skip list, treap, blocked) crossed with both dispatch modes of the
+// substrate layer (the devirtualized std::variant fast path and the
+// ett_substrate virtual bridge): model-based randomized batches of
+// links/cuts against a union-find oracle, augmentation counters, fetch
+// primitives, and internal consistency after every batch. Every
+// configuration must satisfy the identical forest contract — a dispatch
+// mode is pure routing and must never change a single answer.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -10,33 +13,33 @@
 #include <tuple>
 #include <vector>
 
+#include "ett/ett_forest.hpp"
 #include "ett/ett_substrate.hpp"
 #include "gen/graph_gen.hpp"
 #include "spanning/union_find.hpp"
+#include "test_substrates.hpp"
 #include "util/random.hpp"
 
 namespace bdc {
 namespace {
 
-constexpr substrate kAllSubstrates[] = {substrate::skiplist,
-                                        substrate::treap,
-                                        substrate::blocked};
+using ::bdc::testing::ett_config;
+using ::bdc::testing::kEttConfigs;
 
-class EttSubstrate : public ::testing::TestWithParam<substrate> {
+class EttSubstrate : public ::testing::TestWithParam<ett_config> {
  protected:
-  [[nodiscard]] std::unique_ptr<ett_substrate> make(
-      vertex_id n, uint64_t seed = 0xe77e77) const {
-    return make_ett(GetParam(), n, seed);
+  [[nodiscard]] ett_forest make(vertex_id n,
+                                uint64_t seed = 0xe77e77) const {
+    return ett_forest(GetParam().sub, n, seed, GetParam().disp);
   }
 };
 
-std::string substrate_name(const ::testing::TestParamInfo<substrate>& info) {
-  return to_string(info.param);
+std::string config_name(const ::testing::TestParamInfo<ett_config>& info) {
+  return info.param.name;
 }
 
 TEST_P(EttSubstrate, EmptyForestBasics) {
-  auto fp = make(10);
-  ett_substrate& f = *fp;
+  ett_forest f = make(10);
   EXPECT_EQ(f.num_vertices(), 10u);
   EXPECT_EQ(f.num_edges(), 0u);
   EXPECT_FALSE(f.connected(0, 1));
@@ -45,9 +48,18 @@ TEST_P(EttSubstrate, EmptyForestBasics) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
+TEST_P(EttSubstrate, DispatchModePinned) {
+  ett_forest f = make(4);
+  EXPECT_EQ(f.substrate_kind(), GetParam().sub);
+  EXPECT_EQ(f.dispatch_kind(), GetParam().disp);
+  // The bridge always exposes the same underlying forest.
+  f.link({0, 1});
+  EXPECT_TRUE(f.bridge().connected(0, 1));
+  EXPECT_EQ(f.bridge().num_edges(), f.num_edges());
+}
+
 TEST_P(EttSubstrate, SingleLinkCut) {
-  auto fp = make(4);
-  ett_substrate& f = *fp;
+  ett_forest f = make(4);
   f.link({0, 1});
   EXPECT_TRUE(f.connected(0, 1));
   EXPECT_TRUE(f.has_edge({1, 0}));
@@ -62,8 +74,7 @@ TEST_P(EttSubstrate, SingleLinkCut) {
 
 TEST_P(EttSubstrate, LinkWholePathThenCutMiddle) {
   const vertex_id n = 64;
-  auto fp = make(n);
-  ett_substrate& f = *fp;
+  ett_forest f = make(n);
   auto path = gen_path(n);
   f.batch_link(path);
   EXPECT_TRUE(f.connected(0, n - 1));
@@ -79,8 +90,7 @@ TEST_P(EttSubstrate, LinkWholePathThenCutMiddle) {
 
 TEST_P(EttSubstrate, StarBatchLink) {
   const vertex_id n = 100;
-  auto fp = make(n);
-  ett_substrate& f = *fp;
+  ett_forest f = make(n);
   f.batch_link(gen_star(n));
   EXPECT_EQ(f.component_size(0), n);
   EXPECT_TRUE(f.check_consistency().empty());
@@ -94,8 +104,7 @@ TEST_P(EttSubstrate, StarBatchLink) {
 }
 
 TEST_P(EttSubstrate, CountsAndFetch) {
-  auto fp = make(8);
-  ett_substrate& f = *fp;
+  ett_forest f = make(8);
   f.batch_link(gen_path(8));
   std::vector<ett_substrate::count_delta> deltas = {{2, 1, 3}, {5, 0, 2}};
   f.batch_add_counts(deltas);
@@ -126,8 +135,7 @@ TEST_P(EttSubstrate, CountsAndFetch) {
 }
 
 TEST_P(EttSubstrate, ComponentVerticesMatchesTour) {
-  auto fp = make(10);
-  ett_substrate& f = *fp;
+  ett_forest f = make(10);
   f.batch_link(std::vector<edge>{{0, 1}, {1, 2}, {2, 3}});
   auto vs = f.component_vertices(2);
   std::set<vertex_id> got(vs.begin(), vs.end());
@@ -137,8 +145,7 @@ TEST_P(EttSubstrate, ComponentVerticesMatchesTour) {
 TEST_P(EttSubstrate, RelinkAfterCutSameBatchBoundary) {
   // Cut and relink the same edge repeatedly: exercises the pooled node
   // recycling paths (cut arcs must be reusable by the next link).
-  auto fp = make(6);
-  ett_substrate& f = *fp;
+  ett_forest f = make(6);
   for (int i = 0; i < 50; ++i) {
     f.link({2, 4});
     ASSERT_TRUE(f.connected(2, 4));
@@ -148,21 +155,33 @@ TEST_P(EttSubstrate, RelinkAfterCutSameBatchBoundary) {
   EXPECT_TRUE(f.check_consistency().empty());
 }
 
+TEST_P(EttSubstrate, HoistedVisitMatchesForwarders) {
+  // The visit hook (one dispatch hoisted around a loop) must see exactly
+  // the forest the per-call forwarders see.
+  const vertex_id n = 32;
+  ett_forest f = make(n);
+  f.batch_link(gen_path(16));
+  f.visit([&](auto& fc) {
+    for (vertex_id v = 0; v + 1 < n; ++v) {
+      ASSERT_EQ(fc.connected(v, v + 1), f.connected(v, v + 1)) << v;
+      ASSERT_EQ(fc.find_rep(v), f.find_rep(v)) << v;
+    }
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Substrates, EttSubstrate,
-                         ::testing::ValuesIn(kAllSubstrates),
-                         substrate_name);
+                         ::testing::ValuesIn(kEttConfigs), config_name);
 
 class EttRandomSweep
     : public ::testing::TestWithParam<
-          std::tuple<std::pair<int, int>, substrate>> {};
+          std::tuple<std::pair<int, int>, ett_config>> {};
 
 TEST_P(EttRandomSweep, BatchesAgainstUnionFindOracle) {
-  auto [trial_n, sub] = GetParam();
+  auto [trial_n, cfg] = GetParam();
   auto [trial, nn] = trial_n;
   const vertex_id n = static_cast<vertex_id>(nn);
   random_stream rs(trial * 131 + nn);
-  auto fp = make_ett(sub, n, 1000 + trial);
-  ett_substrate& f = *fp;
+  ett_forest f(cfg.sub, n, 1000 + static_cast<uint64_t>(trial), cfg.disp);
   std::set<std::pair<vertex_id, vertex_id>> tree_edges;
   for (int round = 0; round < 25; ++round) {
     // Random batch of links among distinct components.
@@ -215,10 +234,10 @@ TEST_P(EttRandomSweep, BatchesAgainstUnionFindOracle) {
 }
 
 std::string sweep_name(
-    const ::testing::TestParamInfo<std::tuple<std::pair<int, int>, substrate>>&
-        info) {
+    const ::testing::TestParamInfo<
+        std::tuple<std::pair<int, int>, ett_config>>& info) {
   const auto& trial_n = std::get<0>(info.param);
-  return std::string(to_string(std::get<1>(info.param))) + "_t" +
+  return std::string(std::get<1>(info.param).name) + "_t" +
          std::to_string(trial_n.first) + "_n" +
          std::to_string(trial_n.second);
 }
@@ -233,7 +252,7 @@ INSTANTIATE_TEST_SUITE_P(
                           std::pair<int, int>{4, 100},
                           std::pair<int, int>{5, 400},
                           std::pair<int, int>{6, 1000}),
-        ::testing::ValuesIn(kAllSubstrates)),
+        ::testing::ValuesIn(kEttConfigs)),
     sweep_name);
 
 }  // namespace

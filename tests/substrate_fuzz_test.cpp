@@ -24,10 +24,13 @@
 //   BDC_FUZZ_SEEDS   streams per parameter set (default 2)
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/batch_connectivity.hpp"
@@ -293,11 +296,296 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---------------------------------------------------------------------
 // End-to-end differential: batch_dynamic_connectivity under every
-// uniform substrate plus the mixed per-level policy, on one identical
-// insert/delete/query stream WITH non-tree edges — so replacement
-// searches, level pushes, and promotions all hit every backend. The
-// oracle is a union-find rebuilt from scratch each round.
+// uniform substrate plus the mixed per-level policy (each in both
+// dispatch modes), on one identical insert/delete/query stream WITH
+// non-tree edges — so replacement searches, level pushes, and promotions
+// all hit every backend. The oracle is a union-find rebuilt from scratch
+// each round.
+//
+// The stream is materialized up front (its generation never depends on
+// structure responses), so when a run trips, the failing batch list is
+// DELTA-DEBUGGED to a minimal repro — first bisecting away whole
+// batches, then ops within the surviving batches — and printed in the
+// stream-file format stream_runner replays (the repro recipe format the
+// README documents).
 // ---------------------------------------------------------------------
+
+struct bdc_batch {
+  enum class kind : uint8_t { insert, erase, query };
+  kind op;
+  std::vector<edge> edges;                                // insert/erase
+  std::vector<std::pair<vertex_id, vertex_id>> queries;   // query
+};
+using bdc_stream = std::vector<bdc_batch>;
+
+bdc_stream make_bdc_stream(vertex_id n, uint64_t seed, size_t batch,
+                           int rounds) {
+  random_stream rs(seed);
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  bdc_stream stream;
+  for (int round = 0; round < rounds; ++round) {
+    // Insertion batch: arbitrary edges (non-tree edges arise freely),
+    // plus deliberate garbage (duplicates, self loops).
+    bdc_batch ins{bdc_batch::kind::insert, {}, {}};
+    size_t ni = 1 + static_cast<size_t>(rs.next(batch));
+    for (size_t t = 0; t < ni; ++t) {
+      vertex_id u = static_cast<vertex_id>(rs.next(n));
+      vertex_id v = static_cast<vertex_id>(rs.next(n));
+      ins.edges.push_back({u, v});
+      if (rs.next(8) == 0) ins.edges.push_back({v, u});
+    }
+    for (auto e : ins.edges)
+      if (!e.is_self_loop())
+        present.insert({e.canonical().u, e.canonical().v});
+    stream.push_back(std::move(ins));
+
+    // Deletion batch: a random subset of present edges (tree and
+    // non-tree alike) plus a mostly-absent probe.
+    if (round % 2 == 1) {
+      bdc_batch del{bdc_batch::kind::erase, {}, {}};
+      for (auto& pe : present)
+        if (rs.next(100) < 35) del.edges.push_back({pe.first, pe.second});
+      del.edges.push_back({static_cast<vertex_id>(rs.next(n)),
+                           static_cast<vertex_id>(rs.next(n))});
+      for (auto& e : del.edges)
+        present.erase({e.canonical().u, e.canonical().v});
+      stream.push_back(std::move(del));
+    }
+
+    bdc_batch qry{bdc_batch::kind::query, {}, {}};
+    qry.queries.resize(2 * batch + 16);
+    for (auto& q : qry.queries)
+      q = {static_cast<vertex_id>(rs.next(n)),
+           static_cast<vertex_id>(rs.next(n))};
+    stream.push_back(std::move(qry));
+  }
+  return stream;
+}
+
+/// Replays `stream` under every kSubConfigs configuration in lockstep
+/// with a from-scratch union-find oracle. Returns "" when clean, else a
+/// description of the first divergence. `thorough` validates invariants
+/// after every batch (used while minimizing, so the repro shrinks to the
+/// earliest corrupting batch rather than the query that noticed it);
+/// the wide sweep checks every 5th round like before.
+std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
+                       bool thorough) {
+  std::vector<std::unique_ptr<batch_dynamic_connectivity>> dcs;
+  for (size_t ci = 0; ci < std::size(kSubConfigs); ++ci) {
+    options o;
+    o.seed = seed ^ (0x100 + ci);
+    o = kSubConfigs[ci].apply(o);
+    dcs.push_back(std::make_unique<batch_dynamic_connectivity>(n, o));
+  }
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  auto check_all = [&](size_t bi) -> std::string {
+    for (size_t ci = 0; ci < dcs.size(); ++ci) {
+      if (dcs[ci]->num_edges() != present.size())
+        return std::string(kSubConfigs[ci].name) + ": edge count " +
+               std::to_string(dcs[ci]->num_edges()) + " != oracle " +
+               std::to_string(present.size()) + " after batch " +
+               std::to_string(bi);
+      auto rep = dcs[ci]->check_invariants();
+      if (!rep.ok)
+        return std::string(kSubConfigs[ci].name) + ": " + rep.message +
+               " after batch " + std::to_string(bi);
+    }
+    return "";
+  };
+  for (size_t bi = 0; bi < stream.size(); ++bi) {
+    const bdc_batch& b = stream[bi];
+    switch (b.op) {
+      case bdc_batch::kind::insert:
+        for (auto& dc : dcs) dc->batch_insert(b.edges);
+        for (auto e : b.edges)
+          if (!e.is_self_loop() && e.u < n && e.v < n)
+            present.insert({e.canonical().u, e.canonical().v});
+        break;
+      case bdc_batch::kind::erase:
+        for (auto& dc : dcs) dc->batch_delete(b.edges);
+        for (auto& e : b.edges)
+          present.erase({e.canonical().u, e.canonical().v});
+        break;
+      case bdc_batch::kind::query: {
+        union_find oracle(n);
+        for (auto& pe : present) oracle.unite(pe.first, pe.second);
+        for (size_t ci = 0; ci < dcs.size(); ++ci) {
+          auto got = dcs[ci]->batch_connected(b.queries);
+          for (size_t q = 0; q < b.queries.size(); ++q) {
+            bool want =
+                oracle.connected(b.queries[q].first, b.queries[q].second);
+            if (got[q] != want)
+              return std::string(kSubConfigs[ci].name) + ": query (" +
+                     std::to_string(b.queries[q].first) + "," +
+                     std::to_string(b.queries[q].second) + ") -> " +
+                     (got[q] ? "true" : "false") + ", oracle says " +
+                     (want ? "true" : "false") + " at batch " +
+                     std::to_string(bi);
+          }
+        }
+        break;
+      }
+    }
+    if (thorough || (bi % 10 == 9) || bi == stream.size() - 1) {
+      if (auto err = check_all(bi); !err.empty()) return err;
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------
+// Delta debugging (ddmin-style): repeatedly try dropping chunks of the
+// item list, halving the chunk size, until no single item can go.
+// `fails(candidate)` must be deterministic.
+// ---------------------------------------------------------------------
+
+template <typename T, typename Fails>
+std::vector<T> ddmin(std::vector<T> items, const Fails& fails) {
+  size_t chunk = std::max<size_t>(1, items.size() / 2);
+  while (true) {
+    bool removed = false;
+    for (size_t start = 0; start < items.size() && items.size() > 1;) {
+      size_t end = std::min(items.size(), start + chunk);
+      std::vector<T> cand;
+      cand.reserve(items.size() - (end - start));
+      cand.insert(cand.end(), items.begin(),
+                  items.begin() + static_cast<ptrdiff_t>(start));
+      cand.insert(cand.end(), items.begin() + static_cast<ptrdiff_t>(end),
+                  items.end());
+      if (!cand.empty() && fails(cand)) {
+        items = std::move(cand);
+        removed = true;  // the next chunk slid into `start`
+      } else {
+        start = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk /= 2;
+    } else if (!removed) {
+      break;  // fixpoint at single-item granularity
+    }
+  }
+  return items;
+}
+
+/// Shrinks a failing stream: bisect the batch list first, then the ops
+/// inside each surviving batch.
+bdc_stream minimize_bdc_stream(
+    bdc_stream stream,
+    const std::function<bool(const bdc_stream&)>& fails) {
+  stream = ddmin(std::move(stream), fails);
+  for (size_t bi = 0; bi < stream.size(); ++bi) {
+    if (stream[bi].op == bdc_batch::kind::query) {
+      stream[bi].queries = ddmin(
+          stream[bi].queries,
+          [&](const std::vector<std::pair<vertex_id, vertex_id>>& qs) {
+            bdc_stream cand = stream;
+            cand[bi].queries = qs;
+            return fails(cand);
+          });
+    } else {
+      stream[bi].edges =
+          ddmin(stream[bi].edges, [&](const std::vector<edge>& es) {
+            bdc_stream cand = stream;
+            cand[bi].edges = es;
+            return fails(cand);
+          });
+    }
+  }
+  // One more batch-level pass: op-level shrinking often makes whole
+  // batches droppable.
+  return ddmin(std::move(stream), fails);
+}
+
+/// Prints a minimized stream in the stream_runner file format, ready to
+/// save and replay: `stream_runner run dynamic repro.stream`.
+void print_bdc_repro(vertex_id n, const bdc_stream& stream) {
+  std::printf(
+      "=== minimized repro (save as repro.stream; replay with\n"
+      "    stream_runner run dynamic repro.stream) ===\n");
+  std::printf("n %u\n", n);
+  for (const bdc_batch& b : stream) {
+    switch (b.op) {
+      case bdc_batch::kind::insert:
+      case bdc_batch::kind::erase:
+        std::printf("%c", b.op == bdc_batch::kind::insert ? 'I' : 'D');
+        for (const edge& e : b.edges) std::printf(" %u %u", e.u, e.v);
+        break;
+      case bdc_batch::kind::query:
+        std::printf("Q");
+        for (auto& [u, v] : b.queries) std::printf(" %u %u", u, v);
+        break;
+    }
+    std::printf("\n");
+  }
+  std::printf("=== end minimized repro ===\n");
+}
+
+// ---------------------------------------------------------------------
+// The minimizer machinery itself is unit-tested with synthetic failure
+// predicates (a real structure divergence would need a planted bug).
+// ---------------------------------------------------------------------
+
+TEST(DeltaDebug, DdminShrinksToCore) {
+  // "Fails" iff the list still holds both 3 and 7: the 1-minimal result
+  // is exactly {3, 7}, order preserved.
+  std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto fails = [](const std::vector<int>& v) {
+    bool a = false, b = false;
+    for (int x : v) {
+      a |= (x == 3);
+      b |= (x == 7);
+    }
+    return a && b;
+  };
+  EXPECT_EQ(ddmin(items, fails), (std::vector<int>{3, 7}));
+  // A single-item core shrinks to one element.
+  auto has5 = [](const std::vector<int>& v) {
+    for (int x : v)
+      if (x == 5) return true;
+    return false;
+  };
+  EXPECT_EQ(ddmin(items, has5), (std::vector<int>{5}));
+}
+
+TEST(DeltaDebug, MinimizerShrinksStreamsBatchAndOpLevel) {
+  // Synthetic trigger: the stream fails iff some insert batch still
+  // carries edge (1,2) AND some query batch still carries query (1,2).
+  // Minimal: two batches of one op each, order preserved.
+  bdc_stream stream = make_bdc_stream(64, 0x5eed, 8, 6);
+  stream[1].op = bdc_batch::kind::insert;
+  stream[1].queries.clear();
+  stream[1].edges = {{9, 10}, {1, 2}, {11, 12}};
+  bool planted_query = false;
+  for (auto& b : stream) {
+    if (b.op == bdc_batch::kind::query && !planted_query) {
+      b.queries.push_back({1, 2});
+      planted_query = true;
+    }
+  }
+  ASSERT_TRUE(planted_query);
+  auto fails = [](const bdc_stream& s) {
+    bool ins = false, qry = false;
+    for (const bdc_batch& b : s) {
+      if (b.op == bdc_batch::kind::insert) {
+        for (const edge& e : b.edges) ins |= (e == edge{1, 2});
+      } else if (b.op == bdc_batch::kind::query) {
+        for (auto& q : b.queries)
+          qry |= (q == std::pair<vertex_id, vertex_id>{1, 2});
+      }
+    }
+    return ins && qry;
+  };
+  ASSERT_TRUE(fails(stream));
+  bdc_stream minimal = minimize_bdc_stream(stream, fails);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0].op, bdc_batch::kind::insert);
+  EXPECT_EQ(minimal[0].edges, (std::vector<edge>{{1, 2}}));
+  EXPECT_EQ(minimal[1].op, bdc_batch::kind::query);
+  ASSERT_EQ(minimal[1].queries.size(), 1u);
+  EXPECT_EQ(minimal[1].queries[0],
+            (std::pair<vertex_id, vertex_id>{1, 2}));
+}
 
 class BdcDifferential
     : public ::testing::TestWithParam<std::pair<unsigned, size_t>> {};
@@ -314,68 +602,20 @@ TEST_P(BdcDifferential, EndToEndMixedStream) {
                  " batch=" + std::to_string(batch) + " seed_index=" +
                  std::to_string(s) + " stream_seed=" + std::to_string(seed) +
                  " (widen with BDC_FUZZ_SEEDS / BDC_FUZZ_ROUNDS)");
-    std::vector<std::unique_ptr<batch_dynamic_connectivity>> dcs;
-    for (size_t ci = 0; ci < std::size(kSubConfigs); ++ci) {
-      options o;
-      o.seed = seed ^ (0x100 + ci);
-      o = kSubConfigs[ci].apply(o);
-      dcs.push_back(std::make_unique<batch_dynamic_connectivity>(n, o));
-    }
-    random_stream rs(seed);
-    std::set<std::pair<vertex_id, vertex_id>> present;
-    for (int round = 0; round < rounds; ++round) {
-      SCOPED_TRACE("round " + std::to_string(round));
-      // Insertion batch: arbitrary edges (non-tree edges arise freely),
-      // plus deliberate garbage (duplicates, self loops).
-      std::vector<edge> ins;
-      size_t ni = 1 + static_cast<size_t>(rs.next(batch));
-      for (size_t t = 0; t < ni; ++t) {
-        vertex_id u = static_cast<vertex_id>(rs.next(n));
-        vertex_id v = static_cast<vertex_id>(rs.next(n));
-        ins.push_back({u, v});
-        if (rs.next(8) == 0) ins.push_back({v, u});
-      }
-      for (auto& dc : dcs) dc->batch_insert(ins);
-      for (auto e : ins)
-        if (!e.is_self_loop())
-          present.insert({e.canonical().u, e.canonical().v});
-
-      // Deletion batch: a random subset of present edges (tree and
-      // non-tree alike) plus a mostly-absent probe.
-      if (round % 2 == 1) {
-        std::vector<edge> del;
-        for (auto& pe : present)
-          if (rs.next(100) < 35) del.push_back({pe.first, pe.second});
-        del.push_back({static_cast<vertex_id>(rs.next(n)),
-                       static_cast<vertex_id>(rs.next(n))});
-        for (auto& dc : dcs) dc->batch_delete(del);
-        for (auto& e : del) present.erase({e.canonical().u, e.canonical().v});
-      }
-
-      // Oracle + cross-config agreement.
-      union_find oracle(n);
-      for (auto& pe : present) oracle.unite(pe.first, pe.second);
-      std::vector<std::pair<vertex_id, vertex_id>> qs(2 * batch + 16);
-      for (auto& q : qs)
-        q = {static_cast<vertex_id>(rs.next(n)),
-             static_cast<vertex_id>(rs.next(n))};
-      for (size_t ci = 0; ci < dcs.size(); ++ci) {
-        SCOPED_TRACE(kSubConfigs[ci].name);
-        ASSERT_EQ(dcs[ci]->num_edges(), present.size());
-        auto got = dcs[ci]->batch_connected(qs);
-        for (size_t q = 0; q < qs.size(); ++q) {
-          ASSERT_EQ(got[q], oracle.connected(qs[q].first, qs[q].second))
-              << "query " << qs[q].first << "," << qs[q].second;
-        }
-      }
-      if (round % 5 == 4 || round == rounds - 1) {
-        for (size_t ci = 0; ci < dcs.size(); ++ci) {
-          SCOPED_TRACE(kSubConfigs[ci].name);
-          auto rep = dcs[ci]->check_invariants();
-          ASSERT_TRUE(rep.ok) << rep.message;
-        }
-      }
-    }
+    bdc_stream stream = make_bdc_stream(n, seed, batch, rounds);
+    std::string err = replay_bdc(n, seed, stream, /*thorough=*/false);
+    if (err.empty()) continue;
+    // Trip: shrink the batch list to a minimal repro before failing, so
+    // the nightly log carries a ready-to-replay stream file instead of
+    // only a seed.
+    auto fails = [&](const bdc_stream& cand) {
+      return !replay_bdc(n, seed, cand, /*thorough=*/true).empty();
+    };
+    bdc_stream minimal = minimize_bdc_stream(stream, fails);
+    print_bdc_repro(n, minimal);
+    std::string minimal_err = replay_bdc(n, seed, minimal, true);
+    FAIL() << err << "\nminimized to " << minimal.size()
+           << " batches (printed above), failing with: " << minimal_err;
   }
 }
 

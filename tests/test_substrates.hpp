@@ -1,27 +1,33 @@
 // Shared test helper: the substrate configurations the differential
-// suites sweep — every uniform backend plus the mixed per-level policy.
-// One table, included by connectivity_property_test and
-// substrate_fuzz_test, so the property sweep and the fuzz differential
-// can never drift onto different grids when a substrate or policy shape
+// suites sweep — every uniform backend plus the mixed per-level policy,
+// each crossed with the two dispatch modes of the substrate layer (the
+// devirtualized std::variant fast path and the ett_substrate virtual
+// bridge; see src/ett/ett_forest.hpp). One table, included by ett_test,
+// connectivity_test, connectivity_property_test, and substrate_fuzz_test,
+// so the parameterized suites and the fuzz differential can never drift
+// onto different grids when a substrate, policy shape, or dispatch mode
 // is added.
 #pragma once
 
 #include "core/batch_connectivity.hpp"
+#include "ett/ett_forest.hpp"
 #include "ett/ett_substrate.hpp"
 
 namespace bdc::testing {
 
 // A substrate configuration: a uniform backend, or the mixed per-level
 // policy (options::policy) handing the low levels to the blocked
-// representation.
+// representation — plus the dispatch mode every materialized forest uses.
 struct sub_config {
   const char* name;
   substrate sub;
   level_policy policy;
+  dispatch disp = dispatch::static_variant;
 
   [[nodiscard]] options apply(options o) const {
     o.substrate = sub;
     o.policy = policy;
+    o.dispatch = disp;
     return o;
   }
 };
@@ -31,6 +37,31 @@ inline constexpr sub_config kSubConfigs[] = {
     {"treap", substrate::treap, {}},
     {"blocked", substrate::blocked, {}},
     {"mixed", substrate::skiplist, {4, substrate::blocked}},
+    {"skiplist_virtual", substrate::skiplist, {}, dispatch::virtual_bridge},
+    {"treap_virtual", substrate::treap, {}, dispatch::virtual_bridge},
+    {"blocked_virtual", substrate::blocked, {}, dispatch::virtual_bridge},
+    {"mixed_virtual",
+     substrate::skiplist,
+     {4, substrate::blocked},
+     dispatch::virtual_bridge},
+};
+
+// The substrate-surface grid for suites that drive an ett_forest
+// directly (no level structure / policy): every backend crossed with
+// both dispatch modes.
+struct ett_config {
+  const char* name;
+  substrate sub;
+  dispatch disp;
+};
+
+inline constexpr ett_config kEttConfigs[] = {
+    {"skiplist", substrate::skiplist, dispatch::static_variant},
+    {"treap", substrate::treap, dispatch::static_variant},
+    {"blocked", substrate::blocked, dispatch::static_variant},
+    {"skiplist_virtual", substrate::skiplist, dispatch::virtual_bridge},
+    {"treap_virtual", substrate::treap, dispatch::virtual_bridge},
+    {"blocked_virtual", substrate::blocked, dispatch::virtual_bridge},
 };
 
 }  // namespace bdc::testing

@@ -1,19 +1,35 @@
 #!/usr/bin/env python3
-"""Diff two Google Benchmark JSON artifacts and flag regressions.
+"""Diff Google Benchmark JSON artifacts and flag regressions.
 
-CI uploads ``BENCH_substrates.json`` per commit; this script compares the
-current run against the previous commit's artifact and reports every
-benchmark whose real time regressed by more than the threshold (default
-10%). Exit status is 0 when clean, 1 on regression (with ``--no-fail`` the
-report still prints but the exit status stays 0 — useful on noisy shared
-runners where the trajectory matters more than any single datapoint).
+Two modes:
 
-Usage:
-    tools/bench_diff.py OLD.json NEW.json [--threshold PCT] [--no-fail]
+* Pairwise (the original): compare the current run against one previous
+  artifact.
+
+      tools/bench_diff.py OLD.json NEW.json [--threshold PCT] [--no-fail]
+
+* Rolling history: compare the current run against the per-benchmark
+  MEDIAN of the last N artifacts in a history directory, so one noisy CI
+  run can neither mask nor fake a trend. CI appends every Release run's
+  ``BENCH_substrates.json`` to the ``bench-history`` artifact series and
+  diffs against the rolling median instead of only the immediately
+  preceding run.
+
+      tools/bench_diff.py NEW.json --history DIR [--median-of N]
+                          [--threshold PCT] [--no-fail]
+
+History files are consumed in sorted-name order (CI names them by run
+number, so sorted order is chronological); only the last ``--median-of``
+(default 5) contribute to the median. Exit status is 0 when clean, 1 on
+regression (with ``--no-fail`` the report still prints but the exit
+status stays 0 — useful on noisy shared runners where the trajectory
+matters more than any single datapoint).
 """
 
 import argparse
 import json
+import os
+import statistics
 import sys
 
 
@@ -35,15 +51,73 @@ def load_benchmarks(path):
     return out
 
 
+def load_history_median(history_dir, median_of):
+    """Per-benchmark median over the last `median_of` history artifacts.
+
+    Returns (baseline dict, number of artifacts used). A benchmark only
+    enters the baseline if at least one retained artifact carries it.
+    """
+    paths = sorted(
+        os.path.join(history_dir, name)
+        for name in os.listdir(history_dir)
+        if name.endswith(".json")
+    )
+    paths = paths[-median_of:]
+    series = {}
+    used = 0
+    for path in paths:
+        try:
+            run = load_benchmarks(path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_diff: skipping unreadable artifact {path}: {err}")
+            continue
+        used += 1
+        for name, real in run.items():
+            series.setdefault(name, []).append(real)
+    return {name: statistics.median(vals) for name, vals in series.items()}, used
+
+
+def diff(old, new, threshold):
+    """Returns (common, only_old, only_new, regressions, improvements)."""
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    regressions = []
+    improvements = []
+    for name in common:
+        if old[name] <= 0:
+            continue
+        delta_pct = 100.0 * (new[name] - old[name]) / old[name]
+        if delta_pct > threshold:
+            regressions.append((name, old[name], new[name], delta_pct))
+        elif delta_pct < -threshold:
+            improvements.append((name, old[name], new[name], delta_pct))
+    return common, only_old, only_new, regressions, improvements
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", help="previous BENCH_*.json artifact")
-    parser.add_argument("new", help="current BENCH_*.json artifact")
+    parser.add_argument("artifacts", nargs="+",
+                        help="OLD.json NEW.json, or just NEW.json with "
+                             "--history")
     parser.add_argument(
         "--threshold",
         type=float,
         default=10.0,
         help="regression threshold in percent (default: 10)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        help="diff NEW.json against the rolling median of the *.json "
+             "artifacts in DIR instead of a single OLD.json",
+    )
+    parser.add_argument(
+        "--median-of",
+        type=int,
+        default=5,
+        help="number of most-recent history artifacts in the median "
+             "(default: 5)",
     )
     parser.add_argument(
         "--no-fail",
@@ -52,26 +126,29 @@ def main():
     )
     args = parser.parse_args()
 
-    old = load_benchmarks(args.old)
-    new = load_benchmarks(args.new)
+    if args.history is not None:
+        if len(args.artifacts) != 1:
+            parser.error("--history takes exactly one NEW.json")
+        if args.median_of < 1:
+            parser.error("--median-of must be >= 1")
+        old, used = load_history_median(args.history, args.median_of)
+        if used == 0:
+            print("bench_diff: empty history; nothing to diff against")
+            return 0
+        baseline_desc = f"median of last {used} run(s)"
+        new = load_benchmarks(args.artifacts[0])
+    else:
+        if len(args.artifacts) != 2:
+            parser.error("expected OLD.json NEW.json (or NEW.json --history DIR)")
+        old = load_benchmarks(args.artifacts[0])
+        new = load_benchmarks(args.artifacts[1])
+        baseline_desc = "previous run"
 
-    common = sorted(set(old) & set(new))
-    only_old = sorted(set(old) - set(new))
-    only_new = sorted(set(new) - set(old))
+    common, only_old, only_new, regressions, improvements = diff(
+        old, new, args.threshold)
 
-    regressions = []
-    improvements = []
-    for name in common:
-        if old[name] <= 0:
-            continue
-        delta_pct = 100.0 * (new[name] - old[name]) / old[name]
-        if delta_pct > args.threshold:
-            regressions.append((name, old[name], new[name], delta_pct))
-        elif delta_pct < -args.threshold:
-            improvements.append((name, old[name], new[name], delta_pct))
-
-    print(f"bench_diff: {len(common)} comparable benchmarks "
-          f"({len(only_new)} new, {len(only_old)} removed), "
+    print(f"bench_diff: {len(common)} comparable benchmarks vs "
+          f"{baseline_desc} ({len(only_new)} new, {len(only_old)} removed), "
           f"threshold {args.threshold:.1f}%")
     for name, o, n, pct in improvements:
         print(f"  IMPROVED  {name}: {o:.0f} -> {n:.0f} ns ({pct:+.1f}%)")

@@ -6,7 +6,8 @@
 // Usage:
 //   stream_runner gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
 //   stream_runner run [--substrate=skiplist|treap|blocked]
-//                     [--policy=<substrate>:<threshold>] [--workers=N]
+//                     [--policy=<substrate>:<threshold>]
+//                     [--dispatch=static|virtual] [--workers=N]
 //                     <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
 //                      incremental> <stream-file>
 //   stream_runner            (no args: self-demo on a generated stream)
@@ -14,12 +15,21 @@
 // --substrate selects the Euler-tour backend of the dynamic structures;
 // --policy=<substrate>:<threshold> additionally hands every level below
 // <threshold> to <substrate> (per-level substrate mixing, e.g.
-// --policy=blocked:8 for blocked tours on the bottom eight levels);
-// --workers rebuilds the scheduler pool before the replay (equivalent to
-// BDC_NUM_WORKERS, but scoped to this run). After a replay the cumulative
-// `statistics` counters of the structure are printed, along with the
-// aggregated node-pool report (allocation traffic, retained bytes, and
-// how much a high-watermark trim releases).
+// --policy=blocked:8 for blocked tours on the bottom eight levels); a
+// policy naming the primary substrate is uniform and is reported as such.
+// --dispatch=virtual forces the ett_substrate virtual bridge instead of
+// the devirtualized variant fast path (an A/B lever; see
+// src/ett/ett_forest.hpp). --workers rebuilds the scheduler pool before
+// the replay (equivalent to BDC_NUM_WORKERS, but scoped to this run).
+// After a replay the cumulative `statistics` counters of the structure
+// are printed, along with the aggregated node-pool report (allocation
+// traffic, retained bytes, and how much a high-watermark trim releases).
+//
+// Vertex ids in a stream file must be < the header's n. The dynamic
+// structures validate this themselves (out-of-range ids are dropped by
+// the library's public API); the thin baselines (hdt/static/incremental)
+// do not, so stream_runner pre-filters their replay and warns about every
+// dropped entry.
 //
 // Stream file format (text): first line "n <N>", then one line per batch:
 //   I <u1> <v1> <u2> <v2> ...     insertion batch
@@ -207,9 +217,26 @@ void print_statistics(const hdt_connectivity::statistics& st) {
       st.levels_searched, st.edges_pushed, st.replacements_promoted);
 }
 
+/// Drops stream entries with a vertex id outside [0, n) for the thin
+/// baseline structures, which index per-vertex arrays without validation.
+/// Returns the number of dropped entries (edges or queries).
+size_t filter_out_of_range(vertex_id n, update_stream& stream) {
+  size_t dropped = 0;
+  for (auto& b : stream) {
+    size_t before = b.edges.size() + b.queries.size();
+    std::erase_if(b.edges,
+                  [n](const edge& e) { return e.u >= n || e.v >= n; });
+    std::erase_if(b.queries, [n](const std::pair<vertex_id, vertex_id>& q) {
+      return q.first >= n || q.second >= n;
+    });
+    dropped += before - (b.edges.size() + b.queries.size());
+  }
+  return dropped;
+}
+
 int run_structure(const std::string& which, vertex_id n,
                   const update_stream& stream, substrate sub,
-                  level_policy policy) {
+                  level_policy policy, dispatch disp) {
   if (which == "dynamic" || which == "dynamic-simple" ||
       which == "dynamic-scanall") {
     options o;
@@ -218,26 +245,34 @@ int run_structure(const std::string& which, vertex_id n,
                                            : level_search_kind::scan_all;
     o.substrate = sub;
     o.policy = policy;
+    o.dispatch = disp;
     batch_dynamic_connectivity s(n, o);
-    std::string label = which + "/" + to_string(sub);
-    if (policy.mixed()) {
-      label += "+";
-      label += to_string(policy.low);
-      label += "<" + std::to_string(policy.threshold);
-    }
+    // config_label applies the library's policy normalization, so a
+    // --policy naming the primary substrate reads as uniform here.
+    std::string label = which + "/" + config_label(o);
     print_report(label.c_str(), replay(s, stream));
     print_statistics(s.stats());
     print_pool_report(s);
-  } else if (which == "hdt") {
-    hdt_connectivity s(n);
-    print_report("hdt", replay(s, stream));
-    print_statistics(s.stats());
-  } else if (which == "static") {
-    static_recompute_connectivity s(n);
-    print_report("static", replay(s, stream));
-  } else if (which == "incremental") {
-    incremental_adapter s(n);
-    print_report("incremental", replay(s, stream));
+  } else if (which == "hdt" || which == "static" ||
+             which == "incremental") {
+    update_stream safe = stream;
+    if (size_t dropped = filter_out_of_range(n, safe); dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: dropped %zu stream entries with vertex ids >= "
+                   "%u (the %s baseline does not validate ids)\n",
+                   dropped, n, which.c_str());
+    }
+    if (which == "hdt") {
+      hdt_connectivity s(n);
+      print_report("hdt", replay(s, safe));
+      print_statistics(s.stats());
+    } else if (which == "static") {
+      static_recompute_connectivity s(n);
+      print_report("static", replay(s, safe));
+    } else {
+      incremental_adapter s(n);
+      print_report("incremental", replay(s, safe));
+    }
   } else {
     std::fprintf(stderr, "unknown structure '%s'\n", which.c_str());
     return 2;
@@ -255,15 +290,19 @@ int self_demo() {
   // mixed per-level policy (a built-in uniform-vs-mixed A/B pass).
   for (substrate sub :
        {substrate::skiplist, substrate::treap, substrate::blocked}) {
-    if (int rc = run_structure("dynamic", n, stream, sub, {}); rc != 0)
+    if (int rc = run_structure("dynamic", n, stream, sub, {},
+                               dispatch::static_variant);
+        rc != 0)
       return rc;
   }
   if (int rc = run_structure("dynamic", n, stream, substrate::skiplist,
-                             level_policy{8, substrate::blocked});
+                             level_policy{8, substrate::blocked},
+                             dispatch::static_variant);
       rc != 0)
     return rc;
   for (const char* s : {"dynamic-simple", "hdt", "static"}) {
-    if (int rc = run_structure(s, n, stream, substrate::skiplist, {});
+    if (int rc = run_structure(s, n, stream, substrate::skiplist, {},
+                               dispatch::static_variant);
         rc != 0)
       return rc;
   }
@@ -275,7 +314,8 @@ int usage(const char* prog) {
                "usage:\n"
                "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
                "  %s run [--substrate=skiplist|treap|blocked] "
-               "[--policy=<substrate>:<threshold>] [--workers=N] "
+               "[--policy=<substrate>:<threshold>] "
+               "[--dispatch=static|virtual] [--workers=N] "
                "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
                "static|incremental> <stream-file>\n"
                "  %s                (self-demo)\n",
@@ -291,6 +331,7 @@ int main(int argc, char** argv) {
   // Flags may appear anywhere; everything else is positional.
   substrate sub = substrate::skiplist;
   level_policy policy;
+  dispatch disp = dispatch::static_variant;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -322,6 +363,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       policy = level_policy{threshold, *parsed};
+    } else if (a.rfind("--dispatch=", 0) == 0) {
+      auto parsed = dispatch_from_string(a.substr(11));
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --dispatch value '%s' (want static|virtual)\n",
+                     a.c_str() + 11);
+        return 2;
+      }
+      disp = *parsed;
     } else if (a.rfind("--workers=", 0) == 0) {
       const char* value = a.c_str() + 10;
       char* end = nullptr;
@@ -377,7 +427,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read stream file '%s'\n", args[2].c_str());
       return 2;
     }
-    return run_structure(args[1], n, stream, sub, policy);
+    return run_structure(args[1], n, stream, sub, policy, disp);
   }
   return usage(argv[0]);
 }
