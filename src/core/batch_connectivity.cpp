@@ -51,7 +51,18 @@ void dedupe(std::vector<edge>& es) { sort_unique(es); }
 batch_dynamic_connectivity::batch_dynamic_connectivity(vertex_id n,
                                                        options opts)
     : opts_(opts),
-      ls_(n, opts.seed, opts.substrate, opts.policy, opts.dispatch) {}
+      ls_(n, opts.seed, opts.substrate, opts.policy, opts.dispatch),
+      top_forest_(&ls_.forest(ls_.top())) {
+  if (opts_.concurrent_reads) {
+    service_ = std::make_unique<service_state>();
+    // Route the top forest's node frees through the epoch limbo: readers
+    // probing connected_relaxed walk top-forest memory, so nothing they
+    // can reach may be recycled until their epoch has passed. Lower
+    // forests keep immediate frees — the read service never touches them.
+    top_forest_->bind_read_epochs(&service_->epochs);
+    publish_snapshot();  // views are valid from construction on (version 0)
+  }
+}
 
 std::string config_label(const options& opts) {
   std::string label = to_string(opts.substrate);
@@ -61,7 +72,104 @@ std::string config_label(const options& opts) {
     label += "<" + std::to_string(opts.policy.threshold);
   }
   if (opts.dispatch == dispatch::virtual_bridge) label += "!virtual";
+  if (opts.concurrent_reads) label += "+serve";
   return label;
+}
+
+// ---------------------------------------------------------------------
+// Epoch-snapshot read service
+// ---------------------------------------------------------------------
+
+batch_dynamic_connectivity::update_scope::update_scope(
+    batch_dynamic_connectivity& owner)
+    : owner_(owner) {
+  if (owner_.service_ == nullptr) return;
+  service_state& s = *owner_.service_;
+  s.epochs.begin_write();
+  // Seqlock entry: phase -> odd. acq_rel orders it before every mutation
+  // store of the batch, so a reader that observed any of them must also
+  // observe the odd phase on revalidation and discard its live probe.
+  s.phase.fetch_add(1, std::memory_order_acq_rel);
+}
+
+batch_dynamic_connectivity::update_scope::~update_scope() {
+  if (owner_.service_ == nullptr) return;
+  service_state& s = *owner_.service_;
+  // Publish the post-batch snapshot BEFORE re-opening the live fast path:
+  // readers arriving in this window fall back to the (already fresh)
+  // snapshot.
+  owner_.publish_snapshot();
+  s.phase.fetch_add(1, std::memory_order_release);  // -> even
+  // Epoch turnover: everything retired during this batch is stamped with
+  // the pre-advance epoch, so after the advance a NEW reader can never
+  // reach it, and the drains below free whatever no OLD reader pins.
+  // Draining after the advance is also what makes the overflow-pin path
+  // sound (see epoch_manager::pin).
+  s.epochs.advance();
+  s.epochs.end_write();  // drain_limbo asserts mutation quiescence
+  s.epochs.drain();
+  owner_.top_forest_->drain_limbo();
+}
+
+void batch_dynamic_connectivity::publish_snapshot() {
+  snapshot* snap = new snapshot;
+  // Batch k runs with phase 2k-1 (odd); construction publishes at phase 0.
+  snap->version =
+      (service_->phase.load(std::memory_order_relaxed) + 1) / 2;
+  snap->labels = components();
+  snap->sizes.assign(snap->labels.size(), 0);
+  for (vertex_id l : snap->labels) snap->sizes[l]++;
+  const snapshot* old =
+      service_->published.exchange(snap, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // A pinned reader may still hold `old`; free it through the limbo.
+    service_->epochs.retire(
+        const_cast<snapshot*>(old),
+        [](void* p) { delete static_cast<snapshot*>(p); });
+  }
+}
+
+batch_dynamic_connectivity::snapshot_view
+batch_dynamic_connectivity::snapshot_query() const {
+  assert(service_ != nullptr &&
+         "snapshot_query requires options::concurrent_reads");
+  // Pin FIRST, then load: the pin synchronizes with the latest advance
+  // (seq_cst), so the loaded snapshot cannot already have left the limbo.
+  epoch_manager::reader_guard guard = service_->epochs.pin();
+  const snapshot* snap =
+      service_->published.load(std::memory_order_acquire);
+  return snapshot_view(this, std::move(guard), snap);
+}
+
+uint64_t batch_dynamic_connectivity::committed_version() const {
+  assert(service_ != nullptr);
+  return service_->published.load(std::memory_order_acquire)->version;
+}
+
+bool batch_dynamic_connectivity::snapshot_view::connected(
+    vertex_id u, vertex_id v, uint64_t* state) const {
+  const size_t n = snap_->labels.size();
+  if (u >= n || v >= n) {
+    if (state != nullptr) *state = snap_->version;
+    return false;
+  }
+  const service_state& s = *owner_->service_;
+  // Live fast path: when no batch is in flight and the top forest
+  // supports relaxed reads (blocked substrate), probe it directly and
+  // seqlock-validate. A probe overlapped by a batch is discarded — the
+  // release stores inside the batch pair with the probe's acquire loads,
+  // forcing the revalidation to observe the odd (or later) phase.
+  uint64_t v1 = s.phase.load(std::memory_order_acquire);
+  if ((v1 & 1) == 0 && owner_->top_forest_->supports_relaxed_reads()) {
+    std::optional<bool> live = owner_->top_forest_->connected_relaxed(u, v);
+    if (live.has_value() &&
+        s.phase.load(std::memory_order_acquire) == v1) {
+      if (state != nullptr) *state = v1 >> 1;
+      return *live;
+    }
+  }
+  if (state != nullptr) *state = snap_->version;
+  return snap_->labels[u] == snap_->labels[v];
 }
 
 // ---------------------------------------------------------------------
@@ -136,6 +244,10 @@ std::vector<vertex_id> batch_dynamic_connectivity::components() const {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
+  // Covers the whole batch including early returns, so every call commits
+  // exactly one serving state (version parity stays in lockstep with the
+  // caller's batch count).
+  update_scope scope(*this);
   std::vector<edge> clean = sanitize(edges, num_vertices());
   clean = filter(clean, [&](const edge& e) { return !has_edge(e); });
   size_t k = clean.size();
@@ -183,6 +295,7 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
+  update_scope scope(*this);  // see batch_insert
   std::vector<edge> clean = sanitize(edges, num_vertices());
   clean = filter(clean, [&](const edge& e) { return has_edge(e); });
   size_t k = clean.size();

@@ -17,12 +17,15 @@
 //   Invariant 2: F_top is a minimum spanning forest w.r.t. edge levels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/level_structure.hpp"
+#include "util/epoch.hpp"
 #include "util/types.hpp"
 
 namespace bdc {
@@ -54,13 +57,22 @@ struct options {
   /// fast path (default) or the ett_substrate virtual bridge (escape
   /// hatch / A-B baseline). See src/ett/ett_forest.hpp.
   bdc::dispatch dispatch = bdc::dispatch::static_variant;
+  /// Enables the epoch-snapshot read service: snapshot_query() becomes
+  /// available and may run from any thread CONCURRENTLY with
+  /// batch_insert/batch_delete. Costs one components() pass (O(n)) per
+  /// update batch to publish the immutable connectivity snapshot, plus
+  /// epoch bookkeeping on the top forest's node frees. The phased API
+  /// (connected / batch_connected / ...) keeps its exclusive-phase
+  /// contract either way.
+  bool concurrent_reads = false;
   uint64_t seed = 0xbdc5eed;
 };
 
 /// Canonical human-readable label of an options configuration for A/B
 /// reports (stream_runner, benchmarks): "<substrate>", plus
 /// "+<low><<threshold>" when a (normalized) mixed policy is active, plus
-/// "!virtual" when the virtual-bridge dispatch escape hatch is forced.
+/// "!virtual" when the virtual-bridge dispatch escape hatch is forced,
+/// plus "+serve" when the epoch-snapshot read service is enabled.
 /// Applies the same policy normalization as construction, so a nominally
 /// mixed configuration that is actually uniform is labelled uniform.
 [[nodiscard]] std::string config_label(const options& opts);
@@ -135,18 +147,95 @@ class batch_dynamic_connectivity {
   [[nodiscard]] const level_structure& levels() const { return ls_; }
 
   /// Aggregated node-pool counters across every materialized forest.
+  /// Safe to call while readers are pinned (the counters are atomics);
+  /// values are exact between batches, approximate mid-batch.
   [[nodiscard]] node_pool::stats_snapshot pool_stats() const {
     return ls_.pool_stats();
   }
-  /// Releases retained pool memory of emptied forests (quiescence
-  /// required), keeping up to `keep_bytes` of spares per forest;
-  /// returns the total bytes released.
+  /// Releases retained pool memory of emptied forests (MUTATION
+  /// quiescence required — asserted against the read service's writer
+  /// flag; pinned readers are fine), keeping up to `keep_bytes` of
+  /// spares per forest; returns the total bytes released.
   size_t trim_pools(size_t keep_bytes = 0) {
     return ls_.trim_pools(keep_bytes);
   }
 
+  // ------------------------------------------------------------------
+  // Epoch-snapshot read service (options::concurrent_reads).
+  //
+  // snapshot_query() pins an epoch and returns a view that may be used
+  // from any thread WHILE update batches run. Two consistency levels:
+  //   * connected(u, v[, &state]) — freshest committed answer. Fast
+  //     path: if no batch is mid-flight (seqlock version even) and the
+  //     top forest supports relaxed reads (blocked substrate), a live
+  //     two-load probe answers in O(1) without touching the O(n)
+  //     label array; the version is revalidated after the probe and a
+  //     batch-overlapped answer is discarded in favor of the snapshot.
+  //     `state` receives the committed batch count the answer reflects.
+  //   * connected_pinned / components / component_size — frozen at the
+  //     snapshot the view pinned; stable across later batches.
+  // Every answer corresponds to SOME committed batch boundary — never a
+  // torn mid-batch state (a bdc batch makes several substrate calls;
+  // intermediate forests match neither boundary, hence the bdc-level
+  // seqlock rather than substrate-level versioning).
+  //
+  // Views pin an epoch, which defers node reclamation: keep them
+  // short-lived, and never let one outlive the structure.
+  // ------------------------------------------------------------------
+
+  class snapshot_view;
+
+  /// True when constructed with options::concurrent_reads.
+  [[nodiscard]] bool serving() const { return service_ != nullptr; }
+  /// Pins the current epoch and snapshot. Requires serving().
+  [[nodiscard]] snapshot_view snapshot_query() const;
+  /// Number of committed update batches (the `state` a fresh view sees).
+  [[nodiscard]] uint64_t committed_version() const;
+  /// The service's epoch manager (tests / diagnostics); null if !serving().
+  [[nodiscard]] epoch_manager* read_epochs() const {
+    return service_ ? &service_->epochs : nullptr;
+  }
+
  private:
   using rep = ett_substrate::rep;
+
+  /// Immutable per-batch connectivity snapshot: labels[v] is the
+  /// smallest vertex id of v's component, sizes[l] the component size
+  /// stored at its label l. Published via atomic pointer exchange;
+  /// superseded snapshots retire through the epoch limbo.
+  struct snapshot {
+    uint64_t version;
+    std::vector<vertex_id> labels;
+    std::vector<uint32_t> sizes;
+  };
+
+  struct service_state {
+    epoch_manager epochs;
+    /// Seqlock over whole update batches: odd while one is in flight.
+    std::atomic<uint64_t> phase{0};
+    std::atomic<const snapshot*> published{nullptr};
+    ~service_state() { delete published.load(std::memory_order_acquire); }
+  };
+
+  /// RAII batch bracket: phase -> odd on entry; on exit publishes the
+  /// post-batch snapshot, phase -> even, advances the epoch, and drains
+  /// what no reader can observe anymore.
+  class update_scope {
+   public:
+    explicit update_scope(batch_dynamic_connectivity& owner);
+    ~update_scope();
+
+   private:
+    batch_dynamic_connectivity& owner_;
+  };
+
+  void publish_snapshot();
+
+  options opts_;
+  level_structure ls_;
+  mutable statistics stats_;
+  std::unique_ptr<service_state> service_;
+  ett_forest* top_forest_ = nullptr;  // cached &ls_.forest(top); stable
 
   /// A still-disconnected component ("piece") during a level search.
   struct piece {
@@ -169,10 +258,51 @@ class batch_dynamic_connectivity {
                            std::vector<edge>& buffered, bool scan_all);
   void level_search_interleaved(int level, std::span<const vertex_id> seeds,
                                 std::vector<edge>& buffered);
+};
 
-  options opts_;
-  level_structure ls_;
-  mutable statistics stats_;
+/// Epoch-pinned read view; see the service section above. Move-only (it
+/// holds an epoch guard); destroy promptly to let reclamation proceed.
+class batch_dynamic_connectivity::snapshot_view {
+ public:
+  snapshot_view(snapshot_view&&) noexcept = default;
+  snapshot_view& operator=(snapshot_view&&) noexcept = default;
+  snapshot_view(const snapshot_view&) = delete;
+  snapshot_view& operator=(const snapshot_view&) = delete;
+
+  /// Freshest committed connectivity answer (live probe when possible,
+  /// pinned snapshot otherwise). `state`, if non-null, receives the
+  /// committed batch count the answer reflects. Out-of-range ids answer
+  /// false.
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v,
+                               uint64_t* state = nullptr) const;
+  /// Connectivity at exactly the pinned snapshot (frozen semantics).
+  [[nodiscard]] bool connected_pinned(vertex_id u, vertex_id v) const {
+    size_t n = snap_->labels.size();
+    if (u >= n || v >= n) return false;
+    return snap_->labels[u] == snap_->labels[v];
+  }
+  /// Component size at the pinned snapshot; 0 for out-of-range ids.
+  [[nodiscard]] size_t component_size(vertex_id v) const {
+    if (v >= snap_->labels.size()) return 0;
+    return snap_->sizes[snap_->labels[v]];
+  }
+  /// Component labels at the pinned snapshot (valid while the view
+  /// lives).
+  [[nodiscard]] std::span<const vertex_id> components() const {
+    return snap_->labels;
+  }
+  /// The committed batch count of the pinned snapshot.
+  [[nodiscard]] uint64_t version() const { return snap_->version; }
+
+ private:
+  friend class batch_dynamic_connectivity;
+  snapshot_view(const batch_dynamic_connectivity* owner,
+                epoch_manager::reader_guard guard, const snapshot* snap)
+      : owner_(owner), guard_(std::move(guard)), snap_(snap) {}
+
+  const batch_dynamic_connectivity* owner_;
+  epoch_manager::reader_guard guard_;
+  const snapshot* snap_;
 };
 
 }  // namespace bdc

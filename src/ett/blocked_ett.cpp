@@ -16,11 +16,14 @@ namespace bdc {
 
 /// One packed segment of a tour: up to kBlockCap contiguous entries plus
 /// the aggregate counters of the sentinels it holds. Blocks of one tour
-/// form a circular doubly-linked list.
+/// form a circular doubly-linked list. `owner` is the one field the
+/// concurrent-read probe dereferences, so it is atomic: writers relabel
+/// it with release stores, readers load it acquire, and the exclusive
+/// mutation phase itself reads it relaxed.
 struct blocked_ett::block {
   block* prev = nullptr;
   block* next = nullptr;
-  tour* owner = nullptr;
+  std::atomic<tour*> owner{nullptr};
   uint32_t count = 0;
   ett_counts agg;  // sum of own_[v] over sentinel entries in this block
   uint64_t tags[kBlockCap];
@@ -57,14 +60,19 @@ struct blocked_ett::tour {
 };
 
 blocked_ett::blocked_ett(vertex_id n, uint64_t /*seed*/)
-    : own_(n, ett_counts{1, 0, 0}), vloc_(n, nullptr), arcs_(64) {}
+    : own_(n, ett_counts{1, 0, 0}), vloc_(n), arcs_(64) {}
 
 blocked_ett::~blocked_ett() = default;  // block storage is pool-owned
 
 blocked_ett::block* blocked_ett::new_block(tour* owner) {
   static_assert(sizeof(block) <= node_pool::kMaxBytes);
+  // The placement-new (and this plain-ish store) are safe even on
+  // recycled memory: with epochs bound, memory only leaves the limbo —
+  // and so becomes allocatable again — once no pinned reader can reach
+  // its previous incarnation. The block becomes reader-visible only via
+  // a later release store into vloc_, which publishes this init.
   block* b = new (pool_.allocate(sizeof(block))) block;
-  b->owner = owner;
+  b->owner.store(owner, std::memory_order_relaxed);
   return b;
 }
 
@@ -75,20 +83,24 @@ blocked_ett::tour* blocked_ett::new_tour() {
 
 void blocked_ett::free_block(block* b) {
   static_assert(std::is_trivially_destructible_v<block>);
-  pool_.deallocate(static_cast<void*>(b), sizeof(block));
+  pool_.reclaim(static_cast<void*>(b), sizeof(block));
 }
 
 void blocked_ett::free_tour(tour* t) {
   static_assert(std::is_trivially_destructible_v<tour>);
-  pool_.deallocate(static_cast<void*>(t), sizeof(tour));
+  // Tours go through the limbo too: a reader compares descriptor
+  // ADDRESSES, so recycling one while a reader is pinned would invite
+  // rep-equality ABA across a cut+link pair.
+  pool_.reclaim(static_cast<void*>(t), sizeof(tour));
 }
 
 blocked_ett::tour* blocked_ett::tour_of(vertex_id v) const {
-  return vloc_[v] == nullptr ? nullptr : vloc_[v]->owner;
+  block* b = vloc_[v].load(std::memory_order_relaxed);
+  return b == nullptr ? nullptr : b->owner.load(std::memory_order_relaxed);
 }
 
 blocked_ett::tour* blocked_ett::materialize(vertex_id v) {
-  assert(vloc_[v] == nullptr);
+  assert(vloc_[v].load(std::memory_order_relaxed) == nullptr);
   tour* t = new_tour();
   block* b = new_block(t);
   b->prev = b->next = b;
@@ -99,7 +111,7 @@ blocked_ett::tour* blocked_ett::materialize(vertex_id v) {
   t->agg = own_[v];
   t->nentries = 1;
   t->nblocks = 1;
-  vloc_[v] = b;
+  vloc_[v].store(b, std::memory_order_release);
   return t;
 }
 
@@ -122,7 +134,7 @@ void blocked_ett::reregister(block* b) {
   for (uint32_t i = 0; i < b->count; ++i) {
     uint64_t tag = b->tags[i];
     if (!is_arc_tag(tag)) {
-      vloc_[static_cast<vertex_id>(tag)] = b;
+      vloc_[static_cast<vertex_id>(tag)].store(b, std::memory_order_release);
       continue;
     }
     edge e{arc_tag_tail(tag), arc_tag_head(tag)};
@@ -137,7 +149,7 @@ blocked_ett::block* blocked_ett::split_at(block* b, uint32_t i) {
   assert(i <= b->count);
   if (i == 0) return b;
   if (i == b->count) return b->next;
-  tour* t = b->owner;
+  tour* t = b->owner.load(std::memory_order_relaxed);
   block* nb = new_block(t);
   nb->count = b->count - i;
   std::memcpy(nb->tags, b->tags + i, nb->count * sizeof(uint64_t));
@@ -171,7 +183,7 @@ void blocked_ett::prepend_entry(block* b, uint64_t tag) {
 }
 
 void blocked_ett::rebalance(block* b, seam_blocks& dead) {
-  tour* t = b->owner;
+  tour* t = b->owner.load(std::memory_order_relaxed);
   while (t->nblocks > 1 && b->count < kMinFill) {
     block* nb = b->next;
     assert(nb != b);
@@ -237,7 +249,8 @@ void blocked_ett::collapse_singleton(tour* t, seam_blocks& dead) {
   assert(t->nentries == 1 && t->nblocks == 1);
   block* b = t->head;
   assert(b->count == 1 && !is_arc_tag(b->tags[0]));
-  vloc_[static_cast<vertex_id>(b->tags[0])] = nullptr;
+  vloc_[static_cast<vertex_id>(b->tags[0])].store(nullptr,
+                                                  std::memory_order_release);
   dead.push(b);
   free_block(b);
   free_tour(t);
@@ -266,7 +279,7 @@ void blocked_ett::link_one(vertex_id u, vertex_id v) {
   const uint64_t hg = arc_tag(h, g);
   const uint64_t gh = arc_tag(g, h);
 
-  block* bh = vloc_[h];
+  block* bh = vloc_[h].load(std::memory_order_relaxed);
   block* right = split_at(bh, index_in_block(bh, h) + 1);
 
   seam_blocks dead;
@@ -292,18 +305,18 @@ void blocked_ett::link_one(vertex_id u, vertex_id v) {
       ++th->nblocks;
       cands.push(holder);
     }
-    vloc_[g] = holder;
+    vloc_[g].store(holder, std::memory_order_release);
     set_arc_blocks(edge{h, g}, holder, holder);
     th->agg = th->agg + own_[g];
     th->nentries += 3;
   } else {
     // Rotate the guest cycle so it starts at g's sentinel.
-    block* bg = vloc_[g];
+    block* bg = vloc_[g].load(std::memory_order_relaxed);
     block* gstart = split_at(bg, index_in_block(bg, g));
     block* gend = gstart->prev;
     // Relabel the guest's blocks while the cycle is still closed.
     for (block* cur = gstart;;) {
-      cur->owner = th;
+      cur->owner.store(th, std::memory_order_release);
       cur = cur->next;
       if (cur == gstart) break;
     }
@@ -388,8 +401,8 @@ void blocked_ett::cut_one(edge e) {
   block* ar = split_at(br, ri);
   assert(ar->count == 1 && ar->tags[0] == rev_tag);
 
-  tour* t = af->owner;
-  assert(ar->owner == t);
+  tour* t = af->owner.load(std::memory_order_relaxed);
+  assert(ar->owner.load(std::memory_order_relaxed) == t);
   // The subtree side (between fwd and rev) and the remainder are both
   // non-empty: each contains at least one sentinel.
   block* s2h = af->next;
@@ -408,7 +421,7 @@ void blocked_ett::cut_one(edge e) {
   tour* t2 = new_tour();
   t2->head = s2h;
   for (block* cur = s2h;;) {
-    cur->owner = t2;
+    cur->owner.store(t2, std::memory_order_release);
     t2->agg = t2->agg + cur->agg;
     t2->nentries += cur->count;
     ++t2->nblocks;
@@ -452,7 +465,7 @@ void blocked_ett::add_counts_one(const count_delta& d) {
       static_cast<int64_t>(own.tree_edges) + d.tree_delta);
   own.nontree_edges = static_cast<uint32_t>(
       static_cast<int64_t>(own.nontree_edges) + d.nontree_delta);
-  if (block* b = vloc_[d.v]; b != nullptr) {
+  if (block* b = vloc_[d.v].load(std::memory_order_relaxed); b != nullptr) {
     auto apply = [&](ett_counts& c) {
       c.tree_edges = static_cast<uint32_t>(
           static_cast<int64_t>(c.tree_edges) + d.tree_delta);
@@ -460,7 +473,7 @@ void blocked_ett::add_counts_one(const count_delta& d) {
           static_cast<int64_t>(c.nontree_edges) + d.nontree_delta);
     };
     apply(b->agg);
-    apply(b->owner->agg);
+    apply(b->owner.load(std::memory_order_relaxed)->agg);
   }
 }
 
@@ -546,8 +559,8 @@ void blocked_ett::batch_cut(std::span<const edge> cuts) {
     keys[i] = edge_key(cuts[i].canonical());
     const arc_loc* loc = arcs_.find(keys[i]);
     assert(loc != nullptr && "batch_cut: edge not in forest");
-    keyed[i] = {static_cast<uint64_t>(
-                    reinterpret_cast<uintptr_t>(loc->fwd->owner)),
+    keyed[i] = {static_cast<uint64_t>(reinterpret_cast<uintptr_t>(
+                    loc->fwd->owner.load(std::memory_order_relaxed))),
                 static_cast<uint32_t>(i)};
   });
 
@@ -597,13 +610,34 @@ void blocked_ett::batch_add_counts(std::span<const count_delta> deltas) {
 // ---------------------------------------------------------------------
 
 ett_substrate::rep blocked_ett::find_rep(vertex_id v) const {
-  block* b = vloc_[v];
-  return b == nullptr ? static_cast<rep>(&own_[v])
-                      : static_cast<rep>(b->owner);
+  block* b = vloc_[v].load(std::memory_order_relaxed);
+  return b == nullptr
+             ? static_cast<rep>(&own_[v])
+             : static_cast<rep>(b->owner.load(std::memory_order_relaxed));
 }
 
 bool blocked_ett::connected(vertex_id u, vertex_id v) const {
   return find_rep(u) == find_rep(v);
+}
+
+std::optional<bool> blocked_ett::connected_relaxed(vertex_id u,
+                                                   vertex_id v) const {
+  // Acquire pairs with the writers' release stores: if either load
+  // observes a mid-batch store, the caller's seqlock revalidation is
+  // guaranteed to observe the odd version and discard the answer; if
+  // both observe quiescent values, the acquire ordering makes the
+  // dereferenced block's fields (set before the publishing store) fully
+  // visible. Blocks/tours reached through stale values are kept mapped
+  // by the epoch limbo for as long as the caller's guard is pinned.
+  const block* bu = vloc_[u].load(std::memory_order_acquire);
+  const block* bv = vloc_[v].load(std::memory_order_acquire);
+  rep ru = bu == nullptr
+               ? static_cast<rep>(&own_[u])
+               : static_cast<rep>(bu->owner.load(std::memory_order_acquire));
+  rep rv = bv == nullptr
+               ? static_cast<rep>(&own_[v])
+               : static_cast<rep>(bv->owner.load(std::memory_order_acquire));
+  return ru == rv;
 }
 
 std::vector<bool> blocked_ett::batch_connected(
@@ -623,8 +657,9 @@ std::vector<ett_substrate::rep> blocked_ett::batch_find_rep(
 }
 
 ett_counts blocked_ett::component_counts(vertex_id v) const {
-  block* b = vloc_[v];
-  return b == nullptr ? own_[v] : b->owner->agg;
+  block* b = vloc_[v].load(std::memory_order_relaxed);
+  return b == nullptr ? own_[v]
+                      : b->owner.load(std::memory_order_relaxed)->agg;
 }
 
 ett_counts blocked_ett::vertex_counts(vertex_id v) const { return own_[v]; }
@@ -633,7 +668,7 @@ std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_counted(
     vertex_id v, uint64_t want, bool nontree) const {
   std::vector<std::pair<vertex_id, uint32_t>> out;
   if (want == 0) return out;
-  block* b0 = vloc_[v];
+  block* b0 = vloc_[v].load(std::memory_order_relaxed);
   if (b0 == nullptr) {  // singleton component
     uint64_t own = slot_count(own_[v], nontree);
     if (own > 0)
@@ -643,7 +678,7 @@ std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_counted(
   // Stream the cycle in tour order, skipping blocks whose aggregate holds
   // no slots of the requested kind.
   uint64_t left = want;
-  block* start = b0->owner->head;
+  block* start = b0->owner.load(std::memory_order_relaxed)->head;
   for (block* cur = start; left > 0;) {
     if (slot_count(cur->agg, nontree) > 0) {
       for (uint32_t i = 0; i < cur->count && left > 0; ++i) {
@@ -675,11 +710,12 @@ std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_tree(
 }
 
 std::vector<vertex_id> blocked_ett::component_vertices(vertex_id v) const {
-  block* b0 = vloc_[v];
+  block* b0 = vloc_[v].load(std::memory_order_relaxed);
   if (b0 == nullptr) return {v};
+  tour* t = b0->owner.load(std::memory_order_relaxed);
   std::vector<vertex_id> out;
-  out.reserve(b0->owner->agg.vertices);
-  block* start = b0->owner->head;
+  out.reserve(t->agg.vertices);
+  block* start = t->head;
   for (block* cur = start;;) {
     for (uint32_t i = 0; i < cur->count; ++i)
       if (!is_arc_tag(cur->tags[i]))
@@ -699,9 +735,9 @@ std::string blocked_ett::check_consistency() const {
   size_t reachable_arcs = 0;
   for (vertex_id v = 0; v < own_.size(); ++v) {
     if (own_[v].vertices != 1) return "per-vertex counter lost its vertex";
-    block* b0 = vloc_[v];
+    block* b0 = vloc_[v].load(std::memory_order_relaxed);
     if (b0 == nullptr) continue;  // singleton
-    const tour* t = b0->owner;
+    const tour* t = b0->owner.load(std::memory_order_relaxed);
     if (t == nullptr) return "block without owner";
     if (!seen.insert(t).second) continue;
 
@@ -713,7 +749,8 @@ std::string blocked_ett::check_consistency() const {
     const block* start = t->head;
     if (start == nullptr) return "tour without head block";
     for (const block* cur = start;;) {
-      if (cur->owner != t) return "block owner mismatch";
+      if (cur->owner.load(std::memory_order_relaxed) != t)
+        return "block owner mismatch";
       if (cur->next->prev != cur || cur->prev->next != cur)
         return "block chain broken";
       if (cur->count == 0 || cur->count > kBlockCap)
@@ -773,7 +810,8 @@ std::string blocked_ett::check_consistency() const {
       for (uint32_t i = 0; i < cur->count; ++i) {
         uint64_t tag = cur->tags[i];
         if (is_arc_tag(tag)) continue;
-        if (vloc_[static_cast<vertex_id>(tag)] != cur)
+        if (vloc_[static_cast<vertex_id>(tag)].load(
+                std::memory_order_relaxed) != cur)
           return "sentinel registered in the wrong block";
       }
       cur = cur->next;
@@ -790,7 +828,8 @@ std::string blocked_ett::check_consistency() const {
     uint64_t rev = arc_tag(c.v, c.u);
     if (loc.fwd == nullptr || loc.rev == nullptr)
       return "arc record with no block";
-    if (!seen.count(loc.fwd->owner) || !seen.count(loc.rev->owner))
+    if (!seen.count(loc.fwd->owner.load(std::memory_order_relaxed)) ||
+        !seen.count(loc.rev->owner.load(std::memory_order_relaxed)))
       return "arc-map block not reachable from any sentinel";
     bool found_f = false, found_r = false;
     for (uint32_t i = 0; i < loc.fwd->count; ++i)
@@ -809,14 +848,16 @@ blocked_ett::block_stats blocked_ett::debug_block_stats() const {
   s.min_fill = kBlockCap;
   std::unordered_set<const tour*> seen;
   for (vertex_id v = 0; v < own_.size(); ++v) {
-    block* b0 = vloc_[v];
-    if (b0 == nullptr || !seen.insert(b0->owner).second) continue;
+    block* b0 = vloc_[v].load(std::memory_order_relaxed);
+    if (b0 == nullptr) continue;
+    const tour* t = b0->owner.load(std::memory_order_relaxed);
+    if (!seen.insert(t).second) continue;
     ++s.tours;
-    const block* start = b0->owner->head;
+    const block* start = t->head;
     for (const block* cur = start;;) {
       ++s.blocks;
       s.entries += cur->count;
-      if (b0->owner->nblocks > 1) {
+      if (t->nblocks > 1) {
         s.min_fill = std::min(s.min_fill, cur->count);
         s.max_fill = std::max(s.max_fill, cur->count);
       }

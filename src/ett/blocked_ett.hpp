@@ -43,7 +43,9 @@
 // emptied forest can return every block to the OS via trim_pool().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -113,6 +115,25 @@ class blocked_ett final : public ett_substrate {
   size_t trim_pool(size_t keep_bytes = 0) override {
     return pool_.trim(keep_bytes);
   }
+
+  // Epoch-snapshot read contract (see ett_substrate): the two reader-
+  // visible pointer maps — vloc_ (vertex -> block) and block::owner
+  // (block -> tour descriptor) — are atomics; every writer-side update
+  // is a release store and every concurrent-read load is an acquire, so
+  // connected_relaxed is a torn-free two-load probe usable WHILE a
+  // mutation batch runs (the caller must still seqlock-validate: an
+  // answer that overlapped a batch can mix pre- and post-batch paths).
+  // With epochs bound, freed blocks and tour descriptors park in the
+  // pool's limbo instead of being recycled, which is what makes the
+  // probe's dereference of a just-unlinked block safe and rules out
+  // descriptor-address ABA within a pinned epoch.
+  [[nodiscard]] bool supports_relaxed_reads() const override { return true; }
+  [[nodiscard]] std::optional<bool> connected_relaxed(
+      vertex_id u, vertex_id v) const override;
+  void bind_read_epochs(epoch_manager* em) override {
+    pool_.bind_epochs(em);
+  }
+  size_t drain_limbo() override { return pool_.drain_limbo(); }
 
   /// Packing diagnostics for the occupancy tests.
   struct block_stats {
@@ -198,8 +219,11 @@ class blocked_ett final : public ett_substrate {
 
   std::vector<ett_counts> own_;   // per-vertex counters (vertices == 1);
                                   // &own_[v] doubles as the singleton rep
-  std::vector<block*> vloc_;      // block holding v's sentinel; null when
-                                  // v is a singleton component
+  std::vector<std::atomic<block*>> vloc_;  // block holding v's sentinel;
+                                  // null when v is a singleton component.
+                                  // Atomic (release-published) for the
+                                  // concurrent-read probe; writer-side
+                                  // code reads it relaxed (phase-exclusive)
   phase_concurrent_map<arc_loc> arcs_;  // per canonical tree edge
   node_pool pool_;
 };

@@ -174,6 +174,21 @@ class ett_forest {
     return owner_->trim_pool(keep_bytes);
   }
 
+  // Read-side snapshot contract (see ett_substrate). connected_relaxed
+  // goes through the pinned dispatch view like every other hot-path
+  // query, so the concurrent probe is devirtualized under
+  // dispatch::static_variant and still works — as a plain virtual call —
+  // under dispatch::virtual_bridge.
+  [[nodiscard]] bool supports_relaxed_reads() const {
+    return owner_->supports_relaxed_reads();
+  }
+  [[nodiscard]] std::optional<bool> connected_relaxed(vertex_id u,
+                                                      vertex_id v) const {
+    return visit([&](auto& f) { return f.connected_relaxed(u, v); });
+  }
+  void bind_read_epochs(epoch_manager* em) { owner_->bind_read_epochs(em); }
+  size_t drain_limbo() { return owner_->drain_limbo(); }
+
  private:
   // Ownership always flows through the base pointer; the variant is a
   // non-owning concrete-type view of the same object (or the base view

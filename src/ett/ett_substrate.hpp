@@ -152,6 +152,48 @@ class ett_substrate {
     (void)keep_bytes;
     return 0;
   }
+
+  // ------------------------------------------------------------------
+  // Read-side snapshot contract (epoch-based concurrent serving).
+  //
+  // With an epoch_manager bound via bind_read_epochs, the substrate must
+  // (a) route every free of reader-reachable memory through the epoch
+  // limbo (node_pool::reclaim), and (b) publish reader-visible pointer
+  // updates with release stores so a pinned reader never follows a torn
+  // path. A substrate that additionally supports_relaxed_reads answers
+  // connected_relaxed with plain acquire loads WHILE a mutation batch
+  // runs; such an answer is only meaningful after the caller revalidates
+  // a version/seqlock it brackets around the read (the batch_dynamic_
+  // connectivity service layer does exactly that and discards answers
+  // that overlapped a batch). Substrates without relaxed-read support
+  // return nullopt and concurrent readers are served from the service's
+  // published immutable snapshot instead — a raw concurrent find_rep
+  // walk on a pointer structure can resolve u via a stale path and v via
+  // a fresh one to the same representative, producing an answer matching
+  // NEITHER the pre- nor the post-batch state.
+  // ------------------------------------------------------------------
+
+  /// True if connected_relaxed returns answers (only blocked_ett: its
+  /// read path is two acquire loads, no multi-hop walk).
+  [[nodiscard]] virtual bool supports_relaxed_reads() const { return false; }
+
+  /// Concurrent-read connectivity probe; see the contract above. Returns
+  /// nullopt when the substrate cannot answer without a quiescent phase.
+  [[nodiscard]] virtual std::optional<bool> connected_relaxed(
+      vertex_id u, vertex_id v) const {
+    (void)u;
+    (void)v;
+    return std::nullopt;
+  }
+
+  /// Routes future frees of reader-reachable nodes through `em`'s limbo
+  /// (nullptr restores immediate frees once drained). Default: no-op for
+  /// substrates that are never read concurrently.
+  virtual void bind_read_epochs(epoch_manager* em) { (void)em; }
+
+  /// Frees limbo nodes no pinned reader can observe (mutation-quiescent
+  /// callers only). Returns the number reclaimed.
+  virtual size_t drain_limbo() { return 0; }
 };
 
 /// Constructs an empty n-vertex forest over the chosen substrate.

@@ -13,6 +13,14 @@
 // incident same-level tree and non-tree edges (set by the level structure
 // via batch_add_counts), with component-wide sums and first-ℓ retrieval
 // (Appendix 9's fetch primitives).
+//
+// Concurrent-read contract: like the treap, the skip list does not
+// support relaxed reads (connected_relaxed returns nullopt) — find_rep
+// is a multi-level tower walk that can mix stale and fresh next-pointers
+// under a concurrent mutation and land on a representative matching
+// neither batch boundary. The epoch-snapshot serving layer answers
+// concurrent readers from the release-published per-batch connectivity
+// snapshot instead (see ett_substrate's read-side contract).
 #pragma once
 
 #include <cstdint>

@@ -33,6 +33,19 @@
 // Node storage comes from the shared per-worker pool (util/node_pool.hpp):
 // cut arcs are recycled by later links, and teardown drops whole blocks
 // instead of deleting node by node.
+//
+// Concurrent-read contract: the treap does NOT support relaxed reads
+// (connected_relaxed returns nullopt). A find_rep here is a multi-hop
+// parent walk, and under a concurrent cut+link batch two walks can
+// resolve through a mix of stale and fresh parent pointers to the same
+// root, yielding an answer that matches neither the pre- nor the
+// post-batch forest. Under the epoch-snapshot serving layer
+// (batch_dynamic_connectivity, options::concurrent_reads), treap-backed
+// readers are therefore served from the immutable connectivity snapshot
+// the service release-publishes at every batch boundary — the batch
+// result IS published with one release store (of the snapshot pointer),
+// which is the strongest pre-or-post guarantee a pointer-walk structure
+// can offer without per-node versioning.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,5 @@
-// Per-worker pooled node allocation for the ETT substrates (skip-list and
-// treap nodes).
+// Per-worker pooled node allocation for the ETT substrates (skip-list,
+// treap, and blocked-tour nodes).
 //
 // Both substrates allocate and free huge numbers of small nodes: every
 // batch_link creates arc nodes, every batch_cut releases them, and a
@@ -7,8 +7,11 @@
 // the global heap costs a malloc/free round trip per node and scatters the
 // tour across the address space. This pool instead:
 //
-//   * carves nodes out of 64 KiB blocks owned by the pool, rounded up to
-//     16-byte size classes;
+//   * carves nodes out of 64 KiB naturally-aligned blocks owned by the
+//     pool, rounded up to 16-byte size classes. Alignment means any node
+//     pointer maps to its block header (`ptr & ~(kBlockBytes-1)`), where
+//     a per-block live count lets trim_partial() release fully-dead
+//     blocks while neighbors still hold live nodes;
 //   * keeps one freelist array and one bump cursor PER SCHEDULER WORKER,
 //     so the hot allocate/deallocate paths touch no shared state. Under
 //     the library's phase-concurrency contract, concurrent allocation on
@@ -17,11 +20,28 @@
 //     state needs no synchronization;
 //   * recycles freed nodes across batches via the freeing worker's
 //     freelist — a cut-then-relink workload reuses hot memory;
-//   * returns blocks to the OS on pool destruction (making substrate
-//     teardown O(#blocks) instead of one `delete` per node), or earlier
-//     through high-watermark trimming: trim() releases retained blocks
-//     once every node has been returned, which long-running streams hit
-//     whenever a structure (e.g. a low-level blocked forest) empties out.
+//   * optionally defers frees through an epoch_manager (`bind_epochs` +
+//     `reclaim`): while concurrent readers may still observe an unlinked
+//     node, it parks on the freeing worker's limbo list stamped with the
+//     retire epoch, and only `drain_limbo()` — once every pinned reader
+//     has moved past that epoch — recycles it. This is what makes
+//     recycled-memory placement-new and descriptor ABA safe under the
+//     epoch-snapshot read contract;
+//   * returns blocks to the OS on pool destruction, or earlier through
+//     trim() (full reset once outstanding() == 0) and trim_partial()
+//     (release only the blocks whose live count reached zero).
+//
+// Thread-safety ladder:
+//   allocate / deallocate / reclaim — per-worker, phase-concurrent.
+//   stats()                        — safe anytime (atomic counters), even
+//                                    while readers are pinned; the block
+//                                    counts are taken under blocks_mutex_.
+//   trim / trim_partial / drain_limbo — require MUTATION quiescence (no
+//                                    update batch in flight; asserted via
+//                                    the bound epoch_manager's writer
+//                                    flag). Pinned READERS are fine: they
+//                                    can only reach limbo nodes, whose
+//                                    blocks the live counts keep alive.
 //
 // A thread whose worker id exceeds the slot count frozen at construction
 // (possible when set_num_workers grows the pool afterwards) falls back to a
@@ -29,14 +49,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <unordered_set>
 #include <vector>
 
 #include "parallel/scheduler.hpp"
+#include "util/epoch.hpp"
 
 namespace bdc {
 
@@ -44,16 +67,22 @@ class node_pool {
  public:
   static constexpr size_t kGranularity = 16;       // size-class step (bytes)
   static constexpr size_t kMaxBytes = 1024;        // largest pooled node
-  static constexpr size_t kBlockBytes = 64 * 1024; // carve unit
+  static constexpr size_t kBlockBytes = 64 * 1024; // carve unit (aligned)
+  static constexpr size_t kHeaderBytes = 64;       // per-block header area
+  static_assert((kBlockBytes & (kBlockBytes - 1)) == 0,
+                "block size must be a power of two for header lookup");
 
   struct stats_snapshot {
     uint64_t fresh = 0;     // nodes served by carving new block space
     uint64_t recycled = 0;  // nodes served from a freelist
     uint64_t freed = 0;     // nodes returned to the pool
+    uint64_t limbo = 0;     // nodes deferred, awaiting epoch drain
     uint64_t blocks = 0;    // blocks currently owned
     uint64_t spare_blocks = 0;    // owned blocks currently uncarved
     uint64_t trimmed_bytes = 0;   // total bytes released by trim()
-    /// Nodes currently live (allocations minus frees).
+    uint64_t dead_block_trims = 0;  // blocks released by trim_partial()
+    /// Nodes currently live (allocations minus frees). Limbo nodes count
+    /// as outstanding until drained.
     [[nodiscard]] uint64_t outstanding() const {
       return fresh + recycled - freed;
     }
@@ -65,9 +94,11 @@ class node_pool {
       fresh += o.fresh;
       recycled += o.recycled;
       freed += o.freed;
+      limbo += o.limbo;
       blocks += o.blocks;
       spare_blocks += o.spare_blocks;
       trimmed_bytes += o.trimmed_bytes;
+      dead_block_trims += o.dead_block_trims;
       return *this;
     }
   };
@@ -79,8 +110,18 @@ class node_pool {
   node_pool& operator=(const node_pool&) = delete;
 
   ~node_pool() {
-    for (void* b : blocks_) ::operator delete(b);
+    for (void* b : blocks_) release_block(b);
   }
+
+  /// Routes future reclaim() calls through `em`'s epoch protocol instead
+  /// of freeing immediately. Pass nullptr to restore immediate frees
+  /// (only valid once the limbo is drained).
+  void bind_epochs(epoch_manager* em) {
+    assert(em != nullptr || limbo_nodes_.load(std::memory_order_relaxed) == 0);
+    epochs_ = em;
+  }
+  [[nodiscard]] bool deferred() const { return epochs_ != nullptr; }
+  [[nodiscard]] epoch_manager* epochs() const { return epochs_; }
 
   /// Allocates `bytes` (<= kMaxBytes) of 16-byte-aligned storage.
   void* allocate(size_t bytes) {
@@ -104,30 +145,93 @@ class node_pool {
     push_free(overflow_, cls, p);
   }
 
-  /// Aggregated counters. Only meaningful while the pool is quiescent.
+  /// Epoch-aware free: with an epoch_manager bound, parks the node on the
+  /// calling worker's limbo list stamped with the current epoch (pinned
+  /// readers may still observe it); without one, frees immediately. The
+  /// caller guarantees the node is unlinked from all writer-reachable
+  /// structures before calling.
+  void reclaim(void* p, size_t bytes) {
+    if (epochs_ == nullptr) {
+      deallocate(p, bytes);
+      return;
+    }
+    limbo_entry e{p, static_cast<uint32_t>(bytes), epochs_->current()};
+    unsigned w = worker_id();
+    if (w < slots_) {
+      workers_[w].limbo.push_back(e);
+    } else {
+      std::lock_guard<std::mutex> lock(overflow_mutex_);
+      overflow_.limbo.push_back(e);
+    }
+    limbo_nodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Frees every limbo node no pinned reader can observe (retire epoch <
+  /// min pinned epoch). Requires mutation quiescence: the caller must not
+  /// run this concurrently with allocate/deallocate/reclaim on any
+  /// thread. Pinned readers are fine. Returns the number of nodes freed.
+  size_t drain_limbo() {
+    if (epochs_ == nullptr) return 0;
+    assert(!epochs_->writers_active() &&
+           "drain_limbo requires mutation quiescence");
+    uint64_t mn = epochs_->min_pinned();
+    size_t drained = 0;
+    auto drain_one = [&](worker_state& ws) {
+      // Entries are appended in nondecreasing epoch order, so the
+      // reclaimable ones form a prefix.
+      size_t i = 0;
+      while (i < ws.limbo.size() && ws.limbo[i].epoch < mn) {
+        const limbo_entry& e = ws.limbo[i];
+        push_free(ws, size_class(e.bytes), e.p);
+        ++i;
+      }
+      if (i > 0) ws.limbo.erase(ws.limbo.begin(), ws.limbo.begin() + i);
+      drained += i;
+    };
+    for (worker_state& ws : workers_) drain_one(ws);
+    {
+      std::lock_guard<std::mutex> lock(overflow_mutex_);
+      drain_one(overflow_);
+    }
+    if (drained > 0)
+      limbo_nodes_.fetch_sub(drained, std::memory_order_relaxed);
+    return drained;
+  }
+
+  /// Aggregated counters. Safe to call at any time — the per-node
+  /// counters are relaxed atomics, so a snapshot taken while readers are
+  /// pinned (or even mid-batch) is data-race-free, though mid-batch
+  /// values are only approximate.
   [[nodiscard]] stats_snapshot stats() const {
     stats_snapshot s;
     auto add = [&](const worker_state& ws) {
-      s.fresh += ws.fresh;
-      s.recycled += ws.recycled;
-      s.freed += ws.freed;
+      s.fresh += ws.fresh.load(std::memory_order_relaxed);
+      s.recycled += ws.recycled.load(std::memory_order_relaxed);
+      s.freed += ws.freed.load(std::memory_order_relaxed);
     };
     for (const worker_state& ws : workers_) add(ws);
     add(overflow_);
-    s.blocks = blocks_.size();
-    s.spare_blocks = spare_.size();
-    s.trimmed_bytes = trimmed_bytes_;
+    s.limbo = limbo_nodes_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(blocks_mutex_);
+      s.blocks = blocks_.size();
+      s.spare_blocks = spare_.size();
+    }
+    s.trimmed_bytes = trimmed_bytes_.load(std::memory_order_relaxed);
+    s.dead_block_trims = dead_block_trims_.load(std::memory_order_relaxed);
     return s;
   }
 
-  /// High-watermark trimming. Only callable while the pool is quiescent.
-  /// When every node has been returned (outstanding() == 0) the carved
-  /// blocks are all reclaimable: per-worker freelists and cursors are
-  /// reset, up to `keep_bytes` of blocks are retained as spares for the
-  /// next burst, and the rest go back to the OS. With nodes still live,
-  /// blocks cannot move (freelist nodes point into them) and the call is
-  /// a no-op. Returns the number of bytes released.
+  /// High-watermark trimming. Requires mutation quiescence. When every
+  /// node has been returned (outstanding() == 0, which implies an empty
+  /// limbo) the carved blocks are all reclaimable: per-worker freelists
+  /// and cursors are reset, up to `keep_bytes` of blocks are retained as
+  /// spares for the next burst, and the rest go back to the OS. With
+  /// nodes still live, blocks cannot all move and the call is a no-op —
+  /// use trim_partial() for that case. Returns the bytes released.
   size_t trim(size_t keep_bytes = 0) {
+    assert((epochs_ == nullptr || !epochs_->writers_active()) &&
+           "trim requires mutation quiescence");
     if (stats().outstanding() != 0) return 0;
     auto reset = [](worker_state& ws) {
       ws.freelist.fill(nullptr);
@@ -141,26 +245,110 @@ class node_pool {
     {
       std::lock_guard<std::mutex> lock(blocks_mutex_);
       while (blocks_.size() > keep_blocks) {
-        ::operator delete(blocks_.back());
+        release_block(blocks_.back());
         blocks_.pop_back();
         released += kBlockBytes;
       }
       spare_ = blocks_;  // every kept block is uncarved again
+      for (void* b : spare_) header_of_block(b)->live.store(
+          0, std::memory_order_relaxed);
     }
-    trimmed_bytes_ += released;
+    trimmed_bytes_.fetch_add(released, std::memory_order_relaxed);
+    return released;
+  }
+
+  /// Partial trimming: releases carved blocks whose live count reached
+  /// zero (every node carved from them has been freed AND recycled back
+  /// onto a freelist — not merely parked in limbo), purging any freelist
+  /// entries that point into them. Unlike trim(), this works while other
+  /// blocks still hold live nodes. Requires mutation quiescence; pinned
+  /// readers are safe because anything they can still reach sits in
+  /// limbo, which keeps its block's live count positive. Returns the
+  /// bytes released.
+  size_t trim_partial() {
+    assert((epochs_ == nullptr || !epochs_->writers_active()) &&
+           "trim_partial requires mutation quiescence");
+    std::lock_guard<std::mutex> lock(blocks_mutex_);
+    std::unordered_set<void*> dead;
+    {
+      std::unordered_set<void*> keep(spare_.begin(), spare_.end());
+      auto protect_cursor = [&](worker_state& ws) {
+        if (ws.cursor != nullptr && ws.remaining > 0)
+          keep.insert(base_of(ws.cursor));
+        else
+          ws.cursor = nullptr;  // exhausted cursor: drop the dangling edge
+      };
+      for (worker_state& ws : workers_) protect_cursor(ws);
+      {
+        std::lock_guard<std::mutex> olock(overflow_mutex_);
+        protect_cursor(overflow_);
+      }
+      for (void* b : blocks_) {
+        if (keep.count(b) != 0) continue;
+        if (header_of_block(b)->live.load(std::memory_order_relaxed) == 0)
+          dead.insert(b);
+      }
+    }
+    if (dead.empty()) return 0;
+    auto purge = [&](worker_state& ws) {
+      for (void*& head : ws.freelist) {
+        void** link = &head;
+        while (*link != nullptr) {
+          if (dead.count(base_of(*link)) != 0)
+            *link = *static_cast<void**>(*link);  // unlink
+          else
+            link = static_cast<void**>(*link);
+        }
+      }
+    };
+    for (worker_state& ws : workers_) purge(ws);
+    {
+      std::lock_guard<std::mutex> olock(overflow_mutex_);
+      purge(overflow_);
+    }
+    size_t released = 0;
+    auto keep_it = blocks_.begin();
+    for (void* b : blocks_) {
+      if (dead.count(b) != 0) {
+        release_block(b);
+        released += kBlockBytes;
+      } else {
+        *keep_it++ = b;
+      }
+    }
+    blocks_.erase(keep_it, blocks_.end());
+    trimmed_bytes_.fetch_add(released, std::memory_order_relaxed);
+    dead_block_trims_.fetch_add(dead.size(), std::memory_order_relaxed);
     return released;
   }
 
  private:
   static constexpr size_t kNumClasses = kMaxBytes / kGranularity;
+  static constexpr size_t kUsableBytes = kBlockBytes - kHeaderBytes;
+
+  /// Lives in the first kHeaderBytes of every block. The live count is
+  /// atomic so distinct workers can carve from / free into the same block
+  /// without synchronizing (relaxed suffices: trim_partial reads it only
+  /// under quiescence).
+  struct alignas(kHeaderBytes) block_header {
+    std::atomic<uint32_t> live{0};
+  };
+  static_assert(sizeof(block_header) <= kHeaderBytes);
+
+  struct limbo_entry {
+    void* p;
+    uint32_t bytes;
+    uint64_t epoch;
+  };
 
   struct alignas(64) worker_state {
     std::array<void*, kNumClasses> freelist{};
     char* cursor = nullptr;
     size_t remaining = 0;
-    uint64_t fresh = 0;
-    uint64_t recycled = 0;
-    uint64_t freed = 0;
+    std::atomic<uint64_t> fresh{0};
+    std::atomic<uint64_t> recycled{0};
+    std::atomic<uint64_t> freed{0};
+    std::vector<limbo_entry> limbo;
   };
 
   static size_t size_class(size_t bytes) {
@@ -168,10 +356,31 @@ class node_pool {
     return (bytes + kGranularity - 1) / kGranularity - 1;
   }
 
+  static void* base_of(void* p) {
+    return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(p) &
+                                   ~(uintptr_t{kBlockBytes} - 1));
+  }
+  static block_header* header_of(void* p) {
+    return static_cast<block_header*>(base_of(p));
+  }
+  static block_header* header_of_block(void* b) {
+    return static_cast<block_header*>(b);
+  }
+
+  static void* acquire_block() {
+    void* b = ::operator new(kBlockBytes, std::align_val_t{kBlockBytes});
+    new (b) block_header();
+    return b;
+  }
+  static void release_block(void* b) {
+    ::operator delete(b, std::align_val_t{kBlockBytes});
+  }
+
   void* allocate_from(worker_state& ws, size_t cls) {
     if (void* p = ws.freelist[cls]) {
       ws.freelist[cls] = *static_cast<void**>(p);
-      ++ws.recycled;
+      ws.recycled.fetch_add(1, std::memory_order_relaxed);
+      header_of(p)->live.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
     size_t bytes = (cls + 1) * kGranularity;
@@ -185,34 +394,39 @@ class node_pool {
         }
       }
       if (b == nullptr) {
-        b = static_cast<char*>(::operator new(kBlockBytes));
+        b = static_cast<char*>(acquire_block());
         std::lock_guard<std::mutex> lock(blocks_mutex_);
         blocks_.push_back(b);
       }
-      ws.cursor = b;
-      ws.remaining = kBlockBytes;
+      ws.cursor = b + kHeaderBytes;
+      ws.remaining = kUsableBytes;
     }
     void* p = ws.cursor;
     ws.cursor += bytes;
     ws.remaining -= bytes;
-    ++ws.fresh;
+    ws.fresh.fetch_add(1, std::memory_order_relaxed);
+    header_of(p)->live.fetch_add(1, std::memory_order_relaxed);
     return p;
   }
 
   static void push_free(worker_state& ws, size_t cls, void* p) {
     *static_cast<void**>(p) = ws.freelist[cls];
     ws.freelist[cls] = p;
-    ++ws.freed;
+    ws.freed.fetch_add(1, std::memory_order_relaxed);
+    header_of(p)->live.fetch_sub(1, std::memory_order_relaxed);
   }
 
   size_t slots_;
   std::vector<worker_state> workers_;
   worker_state overflow_;
   std::mutex overflow_mutex_;
-  std::mutex blocks_mutex_;
+  mutable std::mutex blocks_mutex_;
   std::vector<void*> blocks_;  // every block owned (freed in the dtor)
   std::vector<void*> spare_;   // subset of blocks_ currently uncarved
-  uint64_t trimmed_bytes_ = 0;
+  std::atomic<uint64_t> trimmed_bytes_{0};
+  std::atomic<uint64_t> dead_block_trims_{0};
+  std::atomic<uint64_t> limbo_nodes_{0};
+  epoch_manager* epochs_ = nullptr;
 };
 
 }  // namespace bdc

@@ -21,6 +21,12 @@
 // the devirtualized variant fast path (an A/B lever; see
 // src/ett/ett_forest.hpp). --workers rebuilds the scheduler pool before
 // the replay (equivalent to BDC_NUM_WORKERS, but scoped to this run).
+// --serve-queries=T enables the epoch-snapshot read service and spawns T
+// plain std::threads that hammer snapshot_query() connectivity reads
+// CONCURRENTLY with the update batches; every recorded answer is
+// differential-checked against the exact oracle of the committed state it
+// claims to reflect (see serve_replay below), and any mismatch fails the
+// run.
 // After a replay the cumulative `statistics` counters of the structure
 // are printed, along with the aggregated node-pool report (allocation
 // traffic, retained bytes, and how much a high-watermark trim releases).
@@ -35,6 +41,7 @@
 //   I <u1> <v1> <u2> <v2> ...     insertion batch
 //   D <u1> <v1> ...               deletion batch
 //   Q <u1> <v1> ...               connectivity-query batch
+#include <atomic>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -43,6 +50,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/incremental_connectivity.hpp"
@@ -52,6 +61,8 @@
 #include "gen/update_stream.hpp"
 #include "hdt/hdt_connectivity.hpp"
 #include "parallel/scheduler.hpp"
+#include "spanning/union_find.hpp"
+#include "util/random.hpp"
 #include "util/timer.hpp"
 
 using namespace bdc;
@@ -151,6 +162,170 @@ replay_report replay(Structure& s, const update_stream& stream) {
   return r;
 }
 
+// ---------------------------------------------------------------------
+// Concurrent query serving (--serve-queries=T)
+//
+// Reader threads hammer snapshot_query() WHILE the driver replays update
+// batches, and every recorded answer is differential-checked afterwards:
+// the view reports which committed batch count ("state") its answer
+// reflects, the driver rebuilds the exact connectivity oracle (union-find
+// over the canonical edge set) after every update batch, and an answer is
+// correct iff it matches the oracle of its reported state. A torn read —
+// any answer matching neither the pre- nor post-batch boundary of some
+// batch — cannot pass this check.
+// ---------------------------------------------------------------------
+
+struct served_record {
+  vertex_id u, v;
+  uint64_t state;  // committed batch count the answer claims to reflect
+  bool pinned;     // answered by the frozen view (connected_pinned)
+  bool ans;
+};
+
+struct serve_result {
+  replay_report rep;
+  uint64_t served = 0;     // total concurrent queries answered
+  size_t checked = 0;      // recorded answers differential-checked
+  size_t mismatches = 0;
+};
+
+/// Min-vertex component labels of the canonical edge set (the oracle).
+std::vector<vertex_id> oracle_labels(
+    vertex_id n, const std::unordered_set<uint64_t>& edges) {
+  union_find uf(n);
+  for (uint64_t key : edges) {
+    edge e = edge_from_key(key);
+    uf.unite(e.u, e.v);
+  }
+  std::vector<vertex_id> mins(n, kNoVertex);
+  std::vector<vertex_id> labels(n);
+  for (vertex_id v = 0; v < n; ++v) {
+    uint32_t r = uf.find(v);
+    if (mins[r] == kNoVertex) mins[r] = v;  // ascending v: first is min
+  }
+  for (vertex_id v = 0; v < n; ++v) labels[v] = mins[uf.find(v)];
+  return labels;
+}
+
+serve_result serve_replay(batch_dynamic_connectivity& s, vertex_id n,
+                          const update_stream& stream, unsigned readers) {
+  serve_result out;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  // Bound the per-thread evidence buffers; the count keeps running.
+  constexpr size_t kMaxRecords = size_t{1} << 16;
+  std::vector<std::vector<served_record>> recs(readers);
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (unsigned t = 0; t < readers; ++t) {
+    pool.emplace_back([&, t] {
+      random_stream rng(hash_combine(0x5e57e, t));
+      auto& buf = recs[t];
+      buf.reserve(kMaxRecords);
+      uint64_t count = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto view = s.snapshot_query();
+        served_record r{};
+        r.u = static_cast<vertex_id>(rng.next(n));
+        r.v = static_cast<vertex_id>(rng.next(n));
+        if ((count & 7) == 0) {
+          // Every 8th query exercises the frozen-view accessors.
+          r.pinned = true;
+          r.state = view.version();
+          r.ans = view.connected_pinned(r.u, r.v);
+        } else {
+          r.ans = view.connected(r.u, r.v, &r.state);
+        }
+        if (buf.size() < kMaxRecords) buf.push_back(r);
+        ++count;
+      }
+      served.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+
+  // Driver: replay the stream, mirroring the library's edge semantics
+  // (canonicalize; drop self-loops and out-of-range; set semantics) and
+  // appending the post-batch oracle after EVERY update batch — the
+  // structure commits one serving state per batch_insert/batch_delete
+  // call, no-op batches included.
+  std::unordered_set<uint64_t> edges;
+  std::vector<std::vector<vertex_id>> states;
+  states.push_back(oracle_labels(n, edges));  // state 0: empty graph
+  auto commit = [&](std::span<const edge> es, bool insert) {
+    for (const edge& raw : es) {
+      edge c = raw.canonical();
+      if (c.is_self_loop() || c.v >= n) continue;
+      if (insert)
+        edges.insert(edge_key(c));
+      else
+        edges.erase(edge_key(c));
+    }
+    states.push_back(oracle_labels(n, edges));
+  };
+  timer t;
+  for (const auto& b : stream) {
+    switch (b.op) {
+      case update_batch::kind::insert:
+        t.reset();
+        s.batch_insert(b.edges);
+        out.rep.insert_sec += t.elapsed();
+        out.rep.inserted += b.edges.size();
+        commit(b.edges, /*insert=*/true);
+        break;
+      case update_batch::kind::erase:
+        t.reset();
+        s.batch_delete(b.edges);
+        out.rep.delete_sec += t.elapsed();
+        out.rep.deleted += b.edges.size();
+        commit(b.edges, /*insert=*/false);
+        break;
+      case update_batch::kind::query: {
+        t.reset();
+        auto ans = s.batch_connected(b.queries);
+        out.rep.query_sec += t.elapsed();
+        out.rep.queried += b.queries.size();
+        for (bool a : ans) out.rep.connected_answers += a;
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  out.served = served.load(std::memory_order_relaxed);
+
+  if (s.committed_version() != states.size() - 1) {
+    std::fprintf(stderr,
+                 "serve: committed_version %" PRIu64
+                 " != driver batch count %zu\n",
+                 s.committed_version(), states.size() - 1);
+    out.mismatches++;
+  }
+  for (const auto& buf : recs) {
+    for (const served_record& r : buf) {
+      out.checked++;
+      if (r.state >= states.size()) {
+        if (out.mismatches++ < 5)
+          std::fprintf(stderr,
+                       "serve MISMATCH: state %" PRIu64
+                       " out of range (%zu committed)\n",
+                       r.state, states.size() - 1);
+        continue;
+      }
+      const auto& labels = states[r.state];
+      bool expect = labels[r.u] == labels[r.v];
+      if (expect != r.ans) {
+        if (out.mismatches++ < 5)
+          std::fprintf(stderr,
+                       "serve MISMATCH: (%u,%u) at state %" PRIu64
+                       " (%s): got %d, oracle %d\n",
+                       r.u, r.v, r.state, r.pinned ? "pinned" : "fresh",
+                       r.ans, expect);
+      }
+    }
+  }
+  return out;
+}
+
 /// Adapters give every structure the same batch surface.
 struct incremental_adapter {
   incremental_connectivity inner;
@@ -236,7 +411,8 @@ size_t filter_out_of_range(vertex_id n, update_stream& stream) {
 
 int run_structure(const std::string& which, vertex_id n,
                   const update_stream& stream, substrate sub,
-                  level_policy policy, dispatch disp) {
+                  level_policy policy, dispatch disp,
+                  unsigned serve_threads) {
   if (which == "dynamic" || which == "dynamic-simple" ||
       which == "dynamic-scanall") {
     options o;
@@ -246,15 +422,35 @@ int run_structure(const std::string& which, vertex_id n,
     o.substrate = sub;
     o.policy = policy;
     o.dispatch = disp;
+    o.concurrent_reads = serve_threads > 0;
     batch_dynamic_connectivity s(n, o);
     // config_label applies the library's policy normalization, so a
     // --policy naming the primary substrate reads as uniform here.
     std::string label = which + "/" + config_label(o);
-    print_report(label.c_str(), replay(s, stream));
+    if (serve_threads > 0) {
+      auto sr = serve_replay(s, n, stream, serve_threads);
+      print_report(label.c_str(), sr.rep);
+      std::printf("  serve: %u reader threads answered %" PRIu64
+                  " queries during the replay; %zu differential-checked, "
+                  "%zu mismatches%s\n",
+                  serve_threads, sr.served, sr.checked, sr.mismatches,
+                  sr.mismatches == 0 ? " (OK)" : "");
+      if (sr.mismatches != 0) {
+        std::fprintf(stderr, "concurrent differential check FAILED\n");
+        return 1;
+      }
+    } else {
+      print_report(label.c_str(), replay(s, stream));
+    }
     print_statistics(s.stats());
     print_pool_report(s);
   } else if (which == "hdt" || which == "static" ||
              which == "incremental") {
+    if (serve_threads > 0)
+      std::fprintf(stderr,
+                   "warning: --serve-queries applies only to the dynamic "
+                   "structures; ignoring for '%s'\n",
+                   which.c_str());
     update_stream safe = stream;
     if (size_t dropped = filter_out_of_range(n, safe); dropped > 0) {
       std::fprintf(stderr,
@@ -280,29 +476,33 @@ int run_structure(const std::string& which, vertex_id n,
   return 0;
 }
 
-int self_demo() {
+int self_demo(unsigned serve_threads) {
   std::printf("stream_runner self-demo: n=4096, m=16384, deletion stream "
-              "with batch 512 + queries\n");
+              "with batch 512 + queries%s\n",
+              serve_threads > 0 ? " (+ concurrent query serving)" : "");
   const vertex_id n = 4096;
   auto graph = gen_erdos_renyi(n, 4 * n, 1);
   auto stream = make_deletion_stream(graph, n, 1024, 512, 256, 2);
   // The dynamic structure runs once per substrate plus once under the
-  // mixed per-level policy (a built-in uniform-vs-mixed A/B pass).
+  // mixed per-level policy (a built-in uniform-vs-mixed A/B pass). With
+  // --serve-queries, every dynamic pass additionally serves (and
+  // differential-checks) concurrent reads — the skip-list/treap passes
+  // exercise the snapshot path, the blocked pass the live seqlock probe.
   for (substrate sub :
        {substrate::skiplist, substrate::treap, substrate::blocked}) {
     if (int rc = run_structure("dynamic", n, stream, sub, {},
-                               dispatch::static_variant);
+                               dispatch::static_variant, serve_threads);
         rc != 0)
       return rc;
   }
   if (int rc = run_structure("dynamic", n, stream, substrate::skiplist,
                              level_policy{8, substrate::blocked},
-                             dispatch::static_variant);
+                             dispatch::static_variant, serve_threads);
       rc != 0)
     return rc;
   for (const char* s : {"dynamic-simple", "hdt", "static"}) {
     if (int rc = run_structure(s, n, stream, substrate::skiplist, {},
-                               dispatch::static_variant);
+                               dispatch::static_variant, 0);
         rc != 0)
       return rc;
   }
@@ -316,9 +516,10 @@ int usage(const char* prog) {
                "  %s run [--substrate=skiplist|treap|blocked] "
                "[--policy=<substrate>:<threshold>] "
                "[--dispatch=static|virtual] [--workers=N] "
+               "[--serve-queries=T] "
                "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
                "static|incremental> <stream-file>\n"
-               "  %s                (self-demo)\n",
+               "  %s                (self-demo; flags apply)\n",
                prog, prog, prog);
   return 2;
 }
@@ -326,12 +527,13 @@ int usage(const char* prog) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 1) return self_demo();
+  if (argc == 1) return self_demo(0);
 
   // Flags may appear anywhere; everything else is positional.
   substrate sub = substrate::skiplist;
   level_policy policy;
   dispatch disp = dispatch::static_variant;
+  unsigned serve_threads = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -384,13 +586,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       set_num_workers(static_cast<unsigned>(w));
+    } else if (a.rfind("--serve-queries=", 0) == 0) {
+      const char* value = a.c_str() + 16;
+      char* end = nullptr;
+      errno = 0;
+      unsigned long t = std::strtoul(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || t > 256) {
+        std::fprintf(stderr,
+                     "bad --serve-queries value '%s' (want 0..256)\n",
+                     value);
+        return 2;
+      }
+      serve_threads = static_cast<unsigned>(t);
     } else if (a.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
       args.push_back(std::move(a));
     }
   }
-  if (args.empty()) return self_demo();
+  if (args.empty()) return self_demo(serve_threads);
 
   const std::string& cmd = args[0];
   if (cmd == "gen" && args.size() == 7) {
@@ -427,7 +641,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read stream file '%s'\n", args[2].c_str());
       return 2;
     }
-    return run_structure(args[1], n, stream, sub, policy, disp);
+    return run_structure(args[1], n, stream, sub, policy, disp,
+                         serve_threads);
   }
   return usage(argv[0]);
 }
