@@ -91,4 +91,65 @@ BENCHMARK(BM_ConcurrentServe)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+// BM_SnapshotPublish — per-batch snapshot publish cost as a function of n,
+// batch size, and publish mode (ISSUE 7). The base graph is a sea of
+// disjoint 16-vertex path clusters; each iteration deletes and re-inserts
+// one batch of intra-cluster edges, touching only the first batch/15-ish
+// clusters. The incremental publisher relabels O(batch) vertices per
+// commit while the --publish=full escape hatch re-walks all n, so the gap
+// between fullpub:0 and fullpub:1 at fixed (logn, batch) IS the headline
+// win — read the "publish_us/batch" counter, not just wall time (the
+// batch itself costs the same on both sides).
+static void BM_SnapshotPublish(benchmark::State& state) {
+  const vertex_id n = vertex_id{1} << state.range(0);
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const bool full = state.range(2) != 0;
+  constexpr vertex_id kCluster = 16;
+
+  options o;
+  o.substrate = substrate::blocked;
+  o.concurrent_reads = true;
+  o.publish = full ? publish_mode::full : publish_mode::incremental;
+  batch_dynamic_connectivity s(n, o);
+  {
+    std::vector<edge> es;
+    es.reserve(1u << 16);
+    for (vertex_id v = 0; v + 1 < n; ++v) {
+      if ((v + 1) % kCluster != 0) es.push_back({v, v + 1});
+      if (es.size() == (1u << 16)) {
+        s.batch_insert(es);
+        es.clear();
+      }
+    }
+    if (!es.empty()) s.batch_insert(es);
+  }
+  // The churn batch: the first `batch` intra-cluster edges.
+  std::vector<edge> churn;
+  for (vertex_id v = 0; churn.size() < batch && v + 1 < n; ++v)
+    if ((v + 1) % kCluster != 0) churn.push_back({v, v + 1});
+  const uint64_t warmup_publishes = s.stats().snapshots_published;
+  const uint64_t warmup_micros = s.stats().publish_micros;
+
+  for (auto _ : state) {
+    s.batch_delete(churn);
+    s.batch_insert(churn);
+  }
+
+  const auto& st = s.stats();
+  const uint64_t publishes = st.snapshots_published - warmup_publishes;
+  state.counters["publish_us/batch"] =
+      publishes == 0 ? 0.0
+                     : static_cast<double>(st.publish_micros -
+                                           warmup_micros) /
+                           static_cast<double>(publishes);
+  state.counters["relabeled"] = static_cast<double>(st.publish_relabeled);
+  state.counters["full_walks"] = static_cast<double>(st.publishes_full);
+  state.SetItemsProcessed(static_cast<int64_t>(2 * churn.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SnapshotPublish)
+    ->ArgsProduct({{16, 20}, {64, 256}, {0, 1}})
+    ->ArgNames({"logn", "batch", "fullpub"})
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK_MAIN();

@@ -21,6 +21,7 @@
 #include "sequence/parallel_sort.hpp"
 #include "sequence/semisort.hpp"
 #include "spanning/union_find.hpp"
+#include "util/timer.hpp"
 
 namespace bdc {
 
@@ -60,8 +61,14 @@ batch_dynamic_connectivity::batch_dynamic_connectivity(vertex_id n,
     // can reach may be recycled until their epoch has passed. Lower
     // forests keep immediate frees — the read service never touches them.
     top_forest_->bind_read_epochs(&service_->epochs);
-    publish_snapshot();  // views are valid from construction on (version 0)
+    // Views are valid from construction on (version 0); no previous
+    // snapshot exists to share chunks with, so build from the full walk.
+    publish_snapshot(/*force_full=*/true);
   }
+}
+
+const char* to_string(publish_mode m) {
+  return m == publish_mode::full ? "full" : "incremental";
 }
 
 std::string config_label(const options& opts) {
@@ -72,7 +79,10 @@ std::string config_label(const options& opts) {
     label += "<" + std::to_string(opts.policy.threshold);
   }
   if (opts.dispatch == dispatch::virtual_bridge) label += "!virtual";
-  if (opts.concurrent_reads) label += "+serve";
+  if (opts.concurrent_reads) {
+    label += "+serve";
+    if (opts.publish == publish_mode::full) label += "!fullpub";
+  }
   return label;
 }
 
@@ -86,6 +96,7 @@ batch_dynamic_connectivity::update_scope::update_scope(
   if (owner_.service_ == nullptr) return;
   service_state& s = *owner_.service_;
   s.epochs.begin_write();
+  owner_.touched_.clear();  // this batch's top-forest mutation endpoints
   // Seqlock entry: phase -> odd. acq_rel orders it before every mutation
   // store of the batch, so a reader that observed any of them must also
   // observe the odd phase on revalidation and discard its live probe.
@@ -98,7 +109,7 @@ batch_dynamic_connectivity::update_scope::~update_scope() {
   // Publish the post-batch snapshot BEFORE re-opening the live fast path:
   // readers arriving in this window fall back to the (already fresh)
   // snapshot.
-  owner_.publish_snapshot();
+  owner_.publish_snapshot(/*force_full=*/false);
   s.phase.fetch_add(1, std::memory_order_release);  // -> even
   // Epoch turnover: everything retired during this batch is stamped with
   // the pre-advance epoch, so after the advance a NEW reader can never
@@ -111,22 +122,155 @@ batch_dynamic_connectivity::update_scope::~update_scope() {
   owner_.top_forest_->drain_limbo();
 }
 
-void batch_dynamic_connectivity::publish_snapshot() {
-  snapshot* snap = new snapshot;
+void batch_dynamic_connectivity::publish_snapshot(bool force_full) {
+  timer t;
   // Batch k runs with phase 2k-1 (odd); construction publishes at phase 0.
-  snap->version =
+  const uint64_t version =
       (service_->phase.load(std::memory_order_relaxed) + 1) / 2;
-  snap->labels = components();
-  snap->sizes.assign(snap->labels.size(), 0);
-  for (vertex_id l : snap->labels) snap->sizes[l]++;
+  // `published` is only exchanged on this (writer) thread, so a relaxed
+  // load sees the latest snapshot; readers never mutate it.
+  const snapshot* prev =
+      service_->published.load(std::memory_order_relaxed);
+  snapshot* snap = nullptr;
+  if (!force_full && prev != nullptr &&
+      opts_.publish == publish_mode::incremental) {
+    snap = build_incremental_snapshot(version, *prev);
+  }
+  if (snap == nullptr) {
+    snap = build_full_snapshot(version);
+    stats_.publishes_full++;
+  }
+  touched_.clear();
+  stats_.snapshots_published++;
+  stats_.publish_micros += static_cast<uint64_t>(t.elapsed_us());
   const snapshot* old =
       service_->published.exchange(snap, std::memory_order_acq_rel);
   if (old != nullptr) {
     // A pinned reader may still hold `old`; free it through the limbo.
+    // Chunks cloned out by later versions are freed transitively here —
+    // the retiring snapshot holds their last shared_ptr reference.
     service_->epochs.retire(
         const_cast<snapshot*>(old),
         [](void* p) { delete static_cast<snapshot*>(p); });
   }
+}
+
+batch_dynamic_connectivity::snapshot*
+batch_dynamic_connectivity::build_full_snapshot(uint64_t version) const {
+  auto* snap = new snapshot;
+  snap->version = version;
+  const size_t n = num_vertices();
+  snap->n = static_cast<vertex_id>(n);
+  const size_t nchunks =
+      (n + snapshot::kChunkSize - 1) >> snapshot::kChunkLog;
+  snap->labels.resize(nchunks);
+  snap->sizes.resize(nchunks);
+  std::vector<vertex_id> flat = components();
+  std::vector<uint32_t> counts(n, 0);
+  for (vertex_id l : flat) counts[l]++;
+  parallel_for(0, nchunks, [&](size_t c) {
+    // make_shared value-initializes, so a partially covered tail chunk
+    // holds zeroes past n.
+    auto lc = std::make_shared<snapshot::label_chunk>();
+    auto sc = std::make_shared<snapshot::size_chunk>();
+    const size_t base = c << snapshot::kChunkLog;
+    const size_t cnt = std::min(snapshot::kChunkSize, n - base);
+    std::copy_n(flat.begin() + static_cast<ptrdiff_t>(base), cnt,
+                lc->begin());
+    std::copy_n(counts.begin() + static_cast<ptrdiff_t>(base), cnt,
+                sc->begin());
+    snap->labels[c] = std::move(lc);
+    snap->sizes[c] = std::move(sc);
+  });
+  return snap;
+}
+
+batch_dynamic_connectivity::snapshot*
+batch_dynamic_connectivity::build_incremental_snapshot(
+    uint64_t version, const snapshot& prev) {
+  const size_t n = num_vertices();
+  // Touched seeds -> distinct post-batch components (one seed per
+  // representative). Every component whose membership changed this batch
+  // contains an endpoint of a top-forest link/cut: cut edges seed both
+  // halves of a split, and promoted replacements seed every reconnected
+  // fragment (a replacement's endpoints were connected at its level
+  // before the batch, so the fragments it rejoins were created by this
+  // batch's cuts and are already seeded). Components not seeded kept
+  // their membership, hence their label and size.
+  sort_unique(touched_);
+  auto reps = top_forest_->batch_find_rep(touched_);
+  std::vector<std::pair<rep, vertex_id>> pieces(touched_.size());
+  for (size_t i = 0; i < touched_.size(); ++i)
+    pieces[i] = {reps[i], touched_[i]};
+  sort_unique(pieces);
+  size_t np = 0;  // dedupe by representative, keeping one seed per piece
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0 && pieces[i].first == pieces[i - 1].first) continue;
+    pieces[np++] = pieces[i];
+  }
+  pieces.resize(np);
+
+  // Touched-size estimate: when the batch moved more than a quarter of
+  // the graph (shatter-everything deletes), the parallel full walk beats
+  // chasing tours one by one — fall back.
+  uint64_t est = 0;
+  top_forest_->visit([&](auto& f) {
+    for (const auto& [r, seed] : pieces)
+      est += f.component_counts(seed).vertices;
+  });
+  if (est > n / 4) return nullptr;
+
+  auto* snap = new snapshot;
+  snap->version = version;
+  snap->n = prev.n;
+  snap->labels = prev.labels;  // chunk pointers shared; cloned on write
+  snap->sizes = prev.sizes;
+
+  // Clone-on-first-write per publish: a chunk with use_count() > 1 is
+  // still shared with prev (or an older limbo snapshot) and must be
+  // copied; one we already cloned this publish is solely ours. use_count
+  // is reliable here because chunk shared_ptrs are only copied/dropped on
+  // this writer thread (readers hold the snapshot*, never the chunks).
+  auto label_slot = [&](vertex_id v) -> vertex_id& {
+    auto& sp = snap->labels[v >> snapshot::kChunkLog];
+    if (sp.use_count() > 1)
+      sp = std::make_shared<snapshot::label_chunk>(*sp);
+    return (*sp)[v & (snapshot::kChunkSize - 1)];
+  };
+  auto size_slot = [&](vertex_id l) -> uint32_t& {
+    auto& sp = snap->sizes[l >> snapshot::kChunkLog];
+    if (sp.use_count() > 1)
+      sp = std::make_shared<snapshot::size_chunk>(*sp);
+    return (*sp)[l & (snapshot::kChunkSize - 1)];
+  };
+
+  std::vector<vertex_id> verts;
+  top_forest_->visit([&](auto& f) {
+    for (const auto& [r, seed] : pieces) {
+      verts.clear();
+      f.for_each_tour_vertex(r, [&](vertex_id v) { verts.push_back(v); });
+      vertex_id mn = verts[0];
+      for (vertex_id v : verts) mn = std::min(mn, v);
+      for (vertex_id v : verts) label_slot(v) = mn;
+      size_slot(mn) = static_cast<uint32_t>(verts.size());
+      stats_.publish_relabeled += verts.size();
+    }
+  });
+  return snap;
+}
+
+std::vector<vertex_id>
+batch_dynamic_connectivity::snapshot_view::components() const {
+  // Sequential on purpose: this runs on reader threads, outside the
+  // parallel scheduler's worker pool.
+  std::vector<vertex_id> out(snap_->n);
+  for (size_t c = 0; c < snap_->labels.size(); ++c) {
+    const size_t base = c << snapshot::kChunkLog;
+    const size_t cnt = std::min(snapshot::kChunkSize, out.size() - base);
+    std::copy_n(snap_->labels[c]->begin(), cnt,
+                out.begin() + static_cast<ptrdiff_t>(base));
+  }
+  return out;
 }
 
 batch_dynamic_connectivity::snapshot_view
@@ -148,8 +292,7 @@ uint64_t batch_dynamic_connectivity::committed_version() const {
 
 bool batch_dynamic_connectivity::snapshot_view::connected(
     vertex_id u, vertex_id v, uint64_t* state) const {
-  const size_t n = snap_->labels.size();
-  if (u >= n || v >= n) {
+  if (u >= snap_->n || v >= snap_->n) {
     if (state != nullptr) *state = snap_->version;
     return false;
   }
@@ -169,7 +312,7 @@ bool batch_dynamic_connectivity::snapshot_view::connected(
     }
   }
   if (state != nullptr) *state = snap_->version;
-  return snap_->labels[u] == snap_->labels[v];
+  return snap_->label_of(u) == snap_->label_of(v);
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +430,9 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
   parallel_for(0, tree_edges.size(), [&](size_t i) {
     tree_edges[i] = clean[sf.tree_edge_indices[i]];
   });
+  // Inserted tree edges are the only top-forest mutations of this batch:
+  // their endpoints seed the incremental snapshot publish.
+  for (const edge& e : tree_edges) note_touched(e);
   ls_.link_tree(top, tree_edges);
 }
 
@@ -316,6 +462,9 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
     });
   }
   stats_.tree_edges_deleted += tree_edges.size();
+  // Every deleted tree edge is cut from the top forest below; both
+  // endpoints seed the incremental snapshot publish (one per split half).
+  for (const auto& [lvl, e] : tree_edges) note_touched(e);
 
   // Deregister all deleted edges (adjacency, counters, dictionary).
   ls_.remove_edges(clean);
@@ -365,6 +514,10 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
         break;
     }
   }
+  // `buffered` now holds every replacement promoted at any level; all of
+  // them were (or end the batch) linked into the top forest, so their
+  // endpoints seed the reconnected components for the snapshot publish.
+  for (const edge& e : buffered) note_touched(e);
 }
 
 // ---------------------------------------------------------------------

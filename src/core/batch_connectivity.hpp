@@ -17,6 +17,7 @@
 //   Invariant 2: F_top is a minimum spanning forest w.r.t. edge levels.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -42,6 +43,21 @@ enum class level_search_kind {
   scan_all,
 };
 
+/// How the read service rebuilds the published snapshot on batch commit
+/// (only meaningful with options::concurrent_reads).
+enum class publish_mode : uint8_t {
+  /// Relabel only the components the batch touched: O(touched vertices)
+  /// enumeration through the substrate tours plus a chunk-pointer copy,
+  /// with an automatic fallback to the full walk when the touched-size
+  /// estimate exceeds n/4 (shatter-everything batches). Default.
+  incremental,
+  /// Always rebuild from a full O(n) components() walk (escape hatch /
+  /// A-B baseline; `stream_runner --publish=full`).
+  full,
+};
+
+[[nodiscard]] const char* to_string(publish_mode m);
+
 struct options {
   level_search_kind search = level_search_kind::interleaved;
   /// The primary Euler-tour substrate (every level, unless `policy`
@@ -59,12 +75,14 @@ struct options {
   bdc::dispatch dispatch = bdc::dispatch::static_variant;
   /// Enables the epoch-snapshot read service: snapshot_query() becomes
   /// available and may run from any thread CONCURRENTLY with
-  /// batch_insert/batch_delete. Costs one components() pass (O(n)) per
-  /// update batch to publish the immutable connectivity snapshot, plus
-  /// epoch bookkeeping on the top forest's node frees. The phased API
+  /// batch_insert/batch_delete. Each update batch publishes an immutable
+  /// connectivity snapshot (cost governed by `publish`), plus epoch
+  /// bookkeeping on the top forest's node frees. The phased API
   /// (connected / batch_connected / ...) keeps its exclusive-phase
   /// contract either way.
   bool concurrent_reads = false;
+  /// Snapshot publish strategy; see publish_mode.
+  publish_mode publish = publish_mode::incremental;
   uint64_t seed = 0xbdc5eed;
 };
 
@@ -72,7 +90,8 @@ struct options {
 /// reports (stream_runner, benchmarks): "<substrate>", plus
 /// "+<low><<threshold>" when a (normalized) mixed policy is active, plus
 /// "!virtual" when the virtual-bridge dispatch escape hatch is forced,
-/// plus "+serve" when the epoch-snapshot read service is enabled.
+/// plus "+serve" when the epoch-snapshot read service is enabled (with
+/// "!fullpub" appended when the incremental publisher is disabled).
 /// Applies the same policy normalization as construction, so a nominally
 /// mixed configuration that is actually uniform is labelled uniform.
 [[nodiscard]] std::string config_label(const options& opts);
@@ -91,6 +110,11 @@ struct statistics {
   uint64_t edges_fetched = 0;     // non-tree edges examined
   uint64_t edges_pushed = 0;      // level decreases (tree + non-tree)
   uint64_t replacements_promoted = 0;  // non-tree edges become tree edges
+  // Read-service publish accounting (options::concurrent_reads only).
+  uint64_t snapshots_published = 0;  // committed snapshots (incl. version 0)
+  uint64_t publishes_full = 0;       // full-walk rebuilds (mode or fallback)
+  uint64_t publish_relabeled = 0;    // vertices rewritten incrementally
+  uint64_t publish_micros = 0;       // cumulative publish_snapshot() time
 };
 
 struct invariant_report {
@@ -199,14 +223,38 @@ class batch_dynamic_connectivity {
  private:
   using rep = ett_substrate::rep;
 
-  /// Immutable per-batch connectivity snapshot: labels[v] is the
-  /// smallest vertex id of v's component, sizes[l] the component size
-  /// stored at its label l. Published via atomic pointer exchange;
-  /// superseded snapshots retire through the epoch limbo.
+  /// Immutable per-batch connectivity snapshot. labels[v] is the smallest
+  /// vertex id of v's component; sizes[l] the component size stored at
+  /// its label l (entries at dead labels go stale but are unreachable —
+  /// size_of is only consulted at live labels, and a label is only ever
+  /// reintroduced by relabelling a touched component, which rewrites its
+  /// size).
+  ///
+  /// Storage is a chunked copy-on-write table: both arrays are split into
+  /// fixed kChunkSize-entry chunks held by shared_ptr. Publishing a new
+  /// version copies the chunk-pointer vectors (O(n / kChunkSize)) and
+  /// clones only the chunks the batch touched, so untouched chunks are
+  /// shared between versions by pointer and a pinned snapshot_view stays
+  /// frozen for free. A superseded snapshot retires through the epoch
+  /// limbo; chunks it solely owns (cloned-out by later versions) are
+  /// freed transitively with it.
   struct snapshot {
-    uint64_t version;
-    std::vector<vertex_id> labels;
-    std::vector<uint32_t> sizes;
+    static constexpr size_t kChunkLog = 12;
+    static constexpr size_t kChunkSize = size_t{1} << kChunkLog;
+    using label_chunk = std::array<vertex_id, kChunkSize>;
+    using size_chunk = std::array<uint32_t, kChunkSize>;
+
+    uint64_t version = 0;
+    vertex_id n = 0;
+    std::vector<std::shared_ptr<label_chunk>> labels;
+    std::vector<std::shared_ptr<size_chunk>> sizes;
+
+    [[nodiscard]] vertex_id label_of(vertex_id v) const {
+      return (*labels[v >> kChunkLog])[v & (kChunkSize - 1)];
+    }
+    [[nodiscard]] uint32_t size_of(vertex_id label) const {
+      return (*sizes[label >> kChunkLog])[label & (kChunkSize - 1)];
+    }
   };
 
   struct service_state {
@@ -229,12 +277,36 @@ class batch_dynamic_connectivity {
     batch_dynamic_connectivity& owner_;
   };
 
-  void publish_snapshot();
+  /// Publishes the post-batch snapshot. The incremental path relabels
+  /// only the components seeded by touched_ (endpoints of this batch's
+  /// top-forest mutations); `force_full` (construction) and the
+  /// publish_mode::full escape hatch rebuild from a full walk, as does
+  /// the automatic fallback when the touched-size estimate exceeds n/4.
+  void publish_snapshot(bool force_full);
+  /// Full O(n) rebuild (components() walk + per-label counting).
+  [[nodiscard]] snapshot* build_full_snapshot(uint64_t version) const;
+  /// O(touched) rebuild sharing untouched chunks with `prev`; returns
+  /// nullptr to request the full-walk fallback.
+  [[nodiscard]] snapshot* build_incremental_snapshot(uint64_t version,
+                                                     const snapshot& prev);
+  /// Records endpoints of a top-forest mutation for the incremental
+  /// publish. No-op unless serving.
+  void note_touched(edge e) {
+    if (service_ == nullptr) return;
+    touched_.push_back(e.u);
+    touched_.push_back(e.v);
+  }
 
   options opts_;
   level_structure ls_;
   mutable statistics stats_;
   std::unique_ptr<service_state> service_;
+  /// Vertices whose component membership may have changed this batch:
+  /// endpoints of every top-forest link/cut (inserted tree edges, deleted
+  /// tree edges, promoted replacements). Every post-batch component whose
+  /// membership changed contains at least one of them. Consumed and
+  /// cleared by publish_snapshot.
+  std::vector<vertex_id> touched_;
   ett_forest* top_forest_ = nullptr;  // cached &ls_.forest(top); stable
 
   /// A still-disconnected component ("piece") during a level search.
@@ -277,20 +349,21 @@ class batch_dynamic_connectivity::snapshot_view {
                                uint64_t* state = nullptr) const;
   /// Connectivity at exactly the pinned snapshot (frozen semantics).
   [[nodiscard]] bool connected_pinned(vertex_id u, vertex_id v) const {
-    size_t n = snap_->labels.size();
-    if (u >= n || v >= n) return false;
-    return snap_->labels[u] == snap_->labels[v];
+    if (u >= snap_->n || v >= snap_->n) return false;
+    return snap_->label_of(u) == snap_->label_of(v);
   }
   /// Component size at the pinned snapshot; 0 for out-of-range ids.
   [[nodiscard]] size_t component_size(vertex_id v) const {
-    if (v >= snap_->labels.size()) return 0;
-    return snap_->sizes[snap_->labels[v]];
+    if (v >= snap_->n) return 0;
+    return snap_->size_of(snap_->label_of(v));
   }
-  /// Component labels at the pinned snapshot (valid while the view
-  /// lives).
-  [[nodiscard]] std::span<const vertex_id> components() const {
-    return snap_->labels;
-  }
+  /// Component labels at the pinned snapshot, materialized on demand into
+  /// a flat vector. Deliberately O(n) time AND space per call: the
+  /// snapshot itself is a chunked copy-on-write table shared between
+  /// versions, so a flat view has to be assembled. Call once and reuse;
+  /// prefer the point probes (connected_pinned / component_size) when a
+  /// full labelling is not actually needed.
+  [[nodiscard]] std::vector<vertex_id> components() const;
   /// The committed batch count of the pinned snapshot.
   [[nodiscard]] uint64_t version() const { return snap_->version; }
 

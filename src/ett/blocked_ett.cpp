@@ -726,6 +726,29 @@ std::vector<vertex_id> blocked_ett::component_vertices(vertex_id v) const {
   return out;
 }
 
+void blocked_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
+                                       void* ctx) const {
+  // A singleton's representative is its own counter slot (&own_[v]);
+  // recover the vertex by position. Every other representative is a tour
+  // descriptor: stream its packed block chain.
+  const auto addr = reinterpret_cast<uintptr_t>(r);
+  const auto lo = reinterpret_cast<uintptr_t>(own_.data());
+  const auto hi = reinterpret_cast<uintptr_t>(own_.data() + own_.size());
+  if (addr >= lo && addr < hi) {
+    fn(ctx, static_cast<vertex_id>((addr - lo) / sizeof(ett_counts)));
+    return;
+  }
+  const tour* t = static_cast<const tour*>(r);
+  const block* start = t->head;
+  for (const block* cur = start;;) {
+    for (uint32_t i = 0; i < cur->count; ++i)
+      if (!is_arc_tag(cur->tags[i]))
+        fn(ctx, static_cast<vertex_id>(cur->tags[i]));
+    cur = cur->next;
+    if (cur == start) break;
+  }
+}
+
 // ---------------------------------------------------------------------
 // Validation.
 // ---------------------------------------------------------------------

@@ -104,6 +104,10 @@ class blocked_ett final : public ett_substrate {
   [[nodiscard]] std::vector<vertex_id> component_vertices(
       vertex_id v) const override;
 
+  using ett_substrate::for_each_tour_vertex;
+  void for_each_tour_vertex(rep r, void (*fn)(void* ctx, vertex_id v),
+                            void* ctx) const override;
+
   /// Structural validation (tests): block chain coherence, occupancy
   /// bounds, aggregate sums, tour orientation (closed Euler walk), and
   /// registration of every sentinel and arc. Empty string if healthy.

@@ -163,6 +163,14 @@ class ett_forest {
     return visit([&](auto& f) { return f.component_vertices(v); });
   }
 
+  /// Enumerates the component with representative `r` in tour order; see
+  /// ett_substrate::for_each_tour_vertex. Hoist the dispatch yourself
+  /// (visit + the substrate's overload) when enumerating many components.
+  template <typename F>
+  void for_each_tour_vertex(rep r, F&& f) const {
+    visit([&](auto& fc) { fc.for_each_tour_vertex(r, f); });
+  }
+
   [[nodiscard]] std::string check_consistency() const {
     return visit([](auto& f) { return f.check_consistency(); });
   }

@@ -40,6 +40,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -131,6 +132,26 @@ class ett_substrate {
   /// All vertices of v's component, in tour order (diagnostics / tests).
   [[nodiscard]] virtual std::vector<vertex_id> component_vertices(
       vertex_id v) const = 0;
+
+  /// Invokes `fn(ctx, v)` once per vertex of the component whose
+  /// representative is `r` (obtained from find_rep / batch_find_rep in the
+  /// same read phase), in tour order. O(component size) with
+  /// substrate-specific constants: the blocked substrate streams its
+  /// packed 512-byte block chain (one block scan per kBlockCap entries),
+  /// the treap and skip list walk their tours node by node. This is the
+  /// enumeration primitive behind incremental snapshot publishing — a
+  /// touched component can be relabelled without a global O(n) scan.
+  virtual void for_each_tour_vertex(rep r, void (*fn)(void* ctx, vertex_id v),
+                                    void* ctx) const = 0;
+
+  /// Lambda-friendly adapter for the raw for_each_tour_vertex above.
+  template <typename F>
+  void for_each_tour_vertex(rep r, F&& f) const {
+    using fn_t = std::remove_reference_t<F>;
+    for_each_tour_vertex(
+        r, [](void* ctx, vertex_id v) { (*static_cast<fn_t*>(ctx))(v); },
+        static_cast<void*>(std::addressof(f)));
+  }
 
   /// Deep structural validation (tests). Empty string if healthy.
   [[nodiscard]] virtual std::string check_consistency() const = 0;

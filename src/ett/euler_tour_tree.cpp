@@ -301,6 +301,19 @@ std::vector<vertex_id> euler_tour_forest::component_vertices(
   return out;
 }
 
+void euler_tour_forest::for_each_tour_vertex(rep r,
+                                             void (*fn)(void*, vertex_id),
+                                             void* ctx) const {
+  // The representative is a node of the tour's circle (every node, tall or
+  // not, sits on the level-0 ring); walk that ring.
+  const node* start = static_cast<const node*>(r);
+  const node* cur = start;
+  do {
+    if (!is_arc_tag(cur->tag)) fn(ctx, static_cast<vertex_id>(cur->tag));
+    cur = cur->next_at(0);
+  } while (cur != nullptr && cur != start);
+}
+
 std::string euler_tour_forest::check_consistency() const {
   // Sequential deep validation: every circle's links, levels, and sums.
   std::unordered_set<const node*> seen;

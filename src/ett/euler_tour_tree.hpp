@@ -91,6 +91,10 @@ class euler_tour_forest final : public ett_substrate {
   [[nodiscard]] std::vector<vertex_id> component_vertices(
       vertex_id v) const override;
 
+  using ett_substrate::for_each_tour_vertex;
+  void for_each_tour_vertex(rep r, void (*fn)(void* ctx, vertex_id v),
+                            void* ctx) const override;
+
   /// Verifies internal consistency (tests): tour circularity, augmentation
   /// sums, edge-map agreement. Returns empty string if healthy.
   [[nodiscard]] std::string check_consistency() const override;

@@ -767,6 +767,25 @@ std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
   return out;
 }
 
+void treap_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
+                                     void* ctx) const {
+  // The representative IS the treap root; in-order walk emits the tour.
+  std::vector<std::pair<const node*, bool>> stack{
+      {static_cast<const node*>(r), false}};
+  while (!stack.empty()) {
+    auto [x, expanded] = stack.back();
+    stack.pop_back();
+    if (x == nullptr) continue;
+    if (expanded) {
+      if (!is_arc_tag(x->tag)) fn(ctx, static_cast<vertex_id>(x->tag));
+    } else {
+      stack.push_back({x->right, false});
+      stack.push_back({x, true});
+      stack.push_back({x->left, false});
+    }
+  }
+}
+
 std::string treap_ett::check_consistency() const {
   // Vertex at which the tour enters (head) / leaves (tail) a node.
   auto tail_of = [](const node* x) { return tag_tail(x->tag); };

@@ -131,6 +131,10 @@ class treap_ett final : public ett_substrate {
   [[nodiscard]] std::vector<vertex_id> component_vertices(
       vertex_id v) const override;
 
+  using ett_substrate::for_each_tour_vertex;
+  void for_each_tour_vertex(rep r, void (*fn)(void* ctx, vertex_id v),
+                            void* ctx) const override;
+
   /// Structural validation (tests): parent/child coherence, heap order,
   /// aggregate sums, tour well-formedness. Empty string if healthy.
   [[nodiscard]] std::string check_consistency() const override;

@@ -341,8 +341,7 @@ TEST(SnapshotView, PinnedViewIsStableAcrossLaterBatches) {
   auto view = s.snapshot_query();
   const uint64_t pinned_version = view.version();
   EXPECT_EQ(pinned_version, 1u);
-  std::vector<vertex_id> labels_before(view.components().begin(),
-                                       view.components().end());
+  std::vector<vertex_id> labels_before = view.components();
   EXPECT_TRUE(view.connected_pinned(0, n / 2 - 1));
   EXPECT_FALSE(view.connected_pinned(0, n - 1));
   EXPECT_EQ(view.component_size(0), n / 2);
@@ -358,13 +357,96 @@ TEST(SnapshotView, PinnedViewIsStableAcrossLaterBatches) {
   EXPECT_TRUE(view.connected_pinned(0, n / 2 - 1));
   EXPECT_FALSE(view.connected_pinned(0, n - 1));
   EXPECT_EQ(view.component_size(0), n / 2);
-  EXPECT_TRUE(std::equal(labels_before.begin(), labels_before.end(),
-                         view.components().begin()));
+  EXPECT_EQ(labels_before, view.components());
   // ...while the freshest-committed surface has moved on.
   uint64_t state = 0;
   EXPECT_TRUE(view.connected(0, n - 1, &state));
   EXPECT_EQ(state, 3u);
   EXPECT_EQ(s.committed_version(), 3u);
+}
+
+// TSan-targeted (ISSUE 7): reader threads pin views and repeatedly
+// re-materialize components() WHILE the writer churns batches. Each
+// publish clones the label-table chunks the batch touched out from under
+// the pinned views; a clone that mutated a still-shared chunk — or any
+// unsynchronized access in the copy-on-write path — shows up either as a
+// label mismatch here or as a TSan race in the CI sanitizer job.
+TEST(SnapshotView, PinnedViewsStayFrozenUnderConcurrentChurn) {
+  const vertex_id n = 512;
+  const size_t rounds = conc_rounds();
+  const size_t readers = conc_readers();
+  options o;
+  o.substrate = substrate::blocked;
+  o.concurrent_reads = true;
+  batch_dynamic_connectivity s(n, o);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> verified{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(readers);
+  for (size_t t = 0; t < readers; ++t) {
+    pool_threads.emplace_back([&, t] {
+      random_stream rng(hash_combine(0x9137, t));
+      while (!stop.load(std::memory_order_acquire)) {
+        auto view = s.snapshot_query();
+        const uint64_t version = view.version();
+        const std::vector<vertex_id> pinned = view.components();
+        // Hold the pin across several writer commits and re-read: the
+        // frozen surface must reproduce the exact same labels.
+        for (int probe = 0; probe < 4; ++probe) {
+          auto v = static_cast<vertex_id>(rng.next(n));
+          if (view.components() != pinned ||
+              view.version() != version ||
+              view.connected_pinned(v, v) != (v < n)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          verified.fetch_add(1, std::memory_order_release);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Writer: churn edges concentrated in a narrow vertex range so every
+  // publish rewrites labels inside chunks the pinned views reference.
+  random_stream rng(0xc10e);
+  std::vector<edge> present;
+  for (size_t r = 0; r < rounds; ++r) {
+    if (r % 2 == 0) {
+      std::vector<edge> batch;
+      for (int i = 0; i < 32; ++i) {
+        auto u = static_cast<vertex_id>(rng.next(n));
+        auto v = static_cast<vertex_id>(rng.next(n));
+        batch.push_back({u, v});
+      }
+      s.batch_insert(batch);
+      for (const edge& raw : batch) {
+        edge c = raw.canonical();
+        if (!c.is_self_loop() && c.v < n && s.has_edge(c))
+          present.push_back(c);
+      }
+    } else {
+      std::vector<edge> batch;
+      for (int i = 0; i < 24 && !present.empty(); ++i) {
+        size_t j = rng.next(present.size());
+        batch.push_back(present[j]);
+        present[j] = present.back();
+        present.pop_back();
+      }
+      s.batch_delete(batch);
+    }
+  }
+  while (verified.load(std::memory_order_acquire) < readers)
+    std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool_threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a pinned snapshot view changed under concurrent publishes";
+  EXPECT_GT(verified.load(), 0u);
+  auto rep = s.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.message;
 }
 
 TEST(SnapshotView, EpochLimboDefersNodeRecycling) {

@@ -12,7 +12,10 @@
 //   * BdcDifferential — batch_dynamic_connectivity end-to-end (inserts
 //     and deletes with non-tree edges, replacement searches, level
 //     pushes) under every uniform substrate plus the mixed per-level
-//     policy, in lockstep with a from-scratch union-find oracle.
+//     policy, in lockstep with a from-scratch union-find oracle. Every
+//     config runs with the read service on, and after every committed
+//     batch the incrementally published snapshot is compared against a
+//     from-scratch components() walk.
 //
 // The grid is {substrate} x {workers: 1, 2, hardware} x {batch size}, and
 // every stream seed is a deterministic function of those parameters, so a
@@ -375,6 +378,9 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
     options o;
     o.seed = seed ^ (0x100 + ci);
     o = kSubConfigs[ci].apply(o);
+    // Every config also runs the read service, so each committed batch
+    // exercises the incremental snapshot publisher.
+    o.concurrent_reads = true;
     dcs.push_back(std::make_unique<batch_dynamic_connectivity>(n, o));
   }
   std::set<std::pair<vertex_id, vertex_id>> present;
@@ -392,6 +398,21 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
     }
     return "";
   };
+  // The incremental publisher's differential: after EVERY committed
+  // batch, the published snapshot's labels must equal a from-scratch
+  // components() walk. A divergence here means the touched-seed
+  // collection missed a component whose membership changed.
+  auto check_snapshots = [&](size_t bi) -> std::string {
+    for (size_t ci = 0; ci < dcs.size(); ++ci) {
+      auto view = dcs[ci]->snapshot_query();
+      if (view.components() != dcs[ci]->components())
+        return std::string(kSubConfigs[ci].name) +
+               ": published snapshot labels diverge from a from-scratch "
+               "components() walk after batch " +
+               std::to_string(bi);
+    }
+    return "";
+  };
   for (size_t bi = 0; bi < stream.size(); ++bi) {
     const bdc_batch& b = stream[bi];
     switch (b.op) {
@@ -400,11 +421,13 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
         for (auto e : b.edges)
           if (!e.is_self_loop() && e.u < n && e.v < n)
             present.insert({e.canonical().u, e.canonical().v});
+        if (auto err = check_snapshots(bi); !err.empty()) return err;
         break;
       case bdc_batch::kind::erase:
         for (auto& dc : dcs) dc->batch_delete(b.edges);
         for (auto& e : b.edges)
           present.erase({e.canonical().u, e.canonical().v});
+        if (auto err = check_snapshots(bi); !err.empty()) return err;
         break;
       case bdc_batch::kind::query: {
         union_find oracle(n);

@@ -157,7 +157,14 @@ def main():
     if only_new:
         print("  new benchmarks: " + ", ".join(only_new))
     if only_old:
-        print("  removed benchmarks: " + ", ".join(only_old))
+        # Advisory, not fatal: a benchmark present in the baseline but
+        # absent from the current run usually means a renamed case or a
+        # dropped registration — silent disappearance would otherwise
+        # read as "no regression" forever (the rolling median keeps the
+        # stale name alive for --median-of runs).
+        for name in only_old:
+            print(f"  WARNING disappeared benchmark: {name} "
+                  f"(in {baseline_desc}, missing from current run)")
     if not regressions:
         print("  no regressions beyond threshold")
         return 0

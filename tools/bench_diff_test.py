@@ -82,6 +82,23 @@ def main():
         rc, out = run(steady, "--history", empty)
         check("history.empty", rc == 0 and "empty history" in out, out)
 
+        # Disappeared benchmarks warn (advisory — exit stays 0 when the
+        # surviving benchmarks are clean), in both modes.
+        shrunk = os.path.join(tmp, "shrunk.json")
+        write_run(shrunk, {"BM_A": 100.0})
+        rc, out = run(old, shrunk, "--threshold", "10")
+        check("pairwise.disappeared_warns",
+              rc == 0 and "WARNING disappeared benchmark: BM_B" in out, out)
+        rc, out = run(steady, "--history", hist, "--median-of", "4")
+        check("history.no_spurious_disappeared_warning",
+              "WARNING disappeared" not in out, out)
+        write_run(os.path.join(hist, "run-005.json"),
+                  {"BM_A": 100.0, "BM_GONE": 50.0})
+        rc, out = run(steady, "--history", hist, "--median-of", "4")
+        check("history.disappeared_warns",
+              rc == 0 and "WARNING disappeared benchmark: BM_GONE" in out,
+              out)
+
     if failures:
         print(f"{len(failures)} check(s) failed")
         return 1

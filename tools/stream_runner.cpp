@@ -381,6 +381,18 @@ void print_statistics(const statistics& st) {
       st.edges_deleted, st.tree_edges_deleted, st.levels_searched,
       st.search_rounds, st.doubling_phases, st.edges_fetched,
       st.edges_pushed, st.replacements_promoted);
+  if (st.snapshots_published > 0) {
+    std::printf(
+        "         publish: %" PRIu64 " snapshots | %.1f us/batch | %" PRIu64
+        " vertices relabeled (%.1f/batch) | %" PRIu64 " full walks\n",
+        st.snapshots_published,
+        static_cast<double>(st.publish_micros) /
+            static_cast<double>(st.snapshots_published),
+        st.publish_relabeled,
+        static_cast<double>(st.publish_relabeled) /
+            static_cast<double>(st.snapshots_published),
+        st.publishes_full);
+  }
 }
 
 void print_statistics(const hdt_connectivity::statistics& st) {
@@ -412,7 +424,7 @@ size_t filter_out_of_range(vertex_id n, update_stream& stream) {
 int run_structure(const std::string& which, vertex_id n,
                   const update_stream& stream, substrate sub,
                   level_policy policy, dispatch disp,
-                  unsigned serve_threads) {
+                  unsigned serve_threads, publish_mode pub) {
   if (which == "dynamic" || which == "dynamic-simple" ||
       which == "dynamic-scanall") {
     options o;
@@ -423,6 +435,7 @@ int run_structure(const std::string& which, vertex_id n,
     o.policy = policy;
     o.dispatch = disp;
     o.concurrent_reads = serve_threads > 0;
+    o.publish = pub;
     batch_dynamic_connectivity s(n, o);
     // config_label applies the library's policy normalization, so a
     // --policy naming the primary substrate reads as uniform here.
@@ -476,7 +489,7 @@ int run_structure(const std::string& which, vertex_id n,
   return 0;
 }
 
-int self_demo(unsigned serve_threads) {
+int self_demo(unsigned serve_threads, publish_mode pub) {
   std::printf("stream_runner self-demo: n=4096, m=16384, deletion stream "
               "with batch 512 + queries%s\n",
               serve_threads > 0 ? " (+ concurrent query serving)" : "");
@@ -491,18 +504,18 @@ int self_demo(unsigned serve_threads) {
   for (substrate sub :
        {substrate::skiplist, substrate::treap, substrate::blocked}) {
     if (int rc = run_structure("dynamic", n, stream, sub, {},
-                               dispatch::static_variant, serve_threads);
+                               dispatch::static_variant, serve_threads, pub);
         rc != 0)
       return rc;
   }
   if (int rc = run_structure("dynamic", n, stream, substrate::skiplist,
                              level_policy{8, substrate::blocked},
-                             dispatch::static_variant, serve_threads);
+                             dispatch::static_variant, serve_threads, pub);
       rc != 0)
     return rc;
   for (const char* s : {"dynamic-simple", "hdt", "static"}) {
     if (int rc = run_structure(s, n, stream, substrate::skiplist, {},
-                               dispatch::static_variant, 0);
+                               dispatch::static_variant, 0, pub);
         rc != 0)
       return rc;
   }
@@ -516,7 +529,7 @@ int usage(const char* prog) {
                "  %s run [--substrate=skiplist|treap|blocked] "
                "[--policy=<substrate>:<threshold>] "
                "[--dispatch=static|virtual] [--workers=N] "
-               "[--serve-queries=T] "
+               "[--serve-queries=T] [--publish=incremental|full] "
                "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
                "static|incremental> <stream-file>\n"
                "  %s                (self-demo; flags apply)\n",
@@ -527,13 +540,14 @@ int usage(const char* prog) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 1) return self_demo(0);
+  if (argc == 1) return self_demo(0, publish_mode::incremental);
 
   // Flags may appear anywhere; everything else is positional.
   substrate sub = substrate::skiplist;
   level_policy policy;
   dispatch disp = dispatch::static_variant;
   unsigned serve_threads = 0;
+  publish_mode pub = publish_mode::incremental;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -598,13 +612,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       serve_threads = static_cast<unsigned>(t);
+    } else if (a.rfind("--publish=", 0) == 0) {
+      std::string value = a.substr(10);
+      if (value == "incremental") {
+        pub = publish_mode::incremental;
+      } else if (value == "full") {
+        pub = publish_mode::full;
+      } else {
+        std::fprintf(stderr,
+                     "bad --publish value '%s' (want incremental|full)\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (a.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
       args.push_back(std::move(a));
     }
   }
-  if (args.empty()) return self_demo(serve_threads);
+  if (args.empty()) return self_demo(serve_threads, pub);
 
   const std::string& cmd = args[0];
   if (cmd == "gen" && args.size() == 7) {
@@ -642,7 +668,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_structure(args[1], n, stream, sub, policy, disp,
-                         serve_threads);
+                         serve_threads, pub);
   }
   return usage(argv[0]);
 }
