@@ -5,22 +5,60 @@
 namespace bdc {
 
 void incremental_connectivity::batch_insert(std::span<const edge> es) {
+  const vertex_id n = static_cast<vertex_id>(uf_.size());
+  edges_.reserve_for(es.size());
   parallel_for(0, es.size(), [&](size_t i) {
-    if (!es[i].is_self_loop()) uf_.unite(es[i].u, es[i].v);
+    edge c = es[i].canonical();
+    // Canonical form has u <= v, so one bound check covers both endpoints.
+    if (c.is_self_loop() || c.v >= n) return;
+    // Raw batches carry duplicate keys (repeats, both orientations), so
+    // this must be insert_if_absent: exactly one caller per key claims it
+    // and writes the value; plain insert()'s overwrite path would race.
+    // Duplicates never recount, so num_edges() is edges_.size().
+    edges_.insert_if_absent(edge_key(c), 1);
+    uf_.unite(c.u, c.v);
   });
-  num_edges_ += es.size();
 }
 
 std::vector<bool> incremental_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> qs) const {
+  const vertex_id n = static_cast<vertex_id>(uf_.size());
   // Byte array first: std::vector<bool> bit-packing is not safe for
   // concurrent writes to neighboring indices.
   std::vector<uint8_t> bits(qs.size());
   auto& uf = const_cast<concurrent_union_find&>(uf_);
   parallel_for(0, qs.size(), [&](size_t i) {
-    bits[i] = uf.find(qs[i].first) == uf.find(qs[i].second) ? 1 : 0;
+    auto [u, v] = qs[i];
+    bits[i] = u < n && v < n && uf.find(u) == uf.find(v) ? 1 : 0;
   });
   return std::vector<bool>(bits.begin(), bits.end());
+}
+
+std::vector<vertex_id> incremental_connectivity::components() const {
+  const size_t n = uf_.size();
+  auto& uf = const_cast<concurrent_union_find&>(uf_);
+  std::vector<vertex_id> rep_of(n);
+  parallel_for(0, n, [&](size_t v) {
+    rep_of[v] = uf.find(static_cast<vertex_id>(v));
+  });
+  // Two passes turn union-find representatives into min-vertex labels:
+  // ids ascend, so the first visitor of each representative is the min.
+  std::vector<vertex_id> min_at(n, kNoVertex);
+  std::vector<vertex_id> labels(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (min_at[rep_of[v]] == kNoVertex)
+      min_at[rep_of[v]] = static_cast<vertex_id>(v);
+  }
+  parallel_for(0, n, [&](size_t v) { labels[v] = min_at[rep_of[v]]; });
+  return labels;
+}
+
+std::vector<edge> incremental_connectivity::edge_list() const {
+  auto entries = edges_.entries();
+  std::vector<edge> out(entries.size());
+  parallel_for(0, entries.size(),
+               [&](size_t i) { out[i] = edge_from_key(entries[i].first); });
+  return out;
 }
 
 }  // namespace bdc

@@ -1,5 +1,7 @@
 #include "baselines/static_connectivity.hpp"
 
+#include <cassert>
+
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
 #include "spanning/union_find.hpp"
@@ -13,51 +15,69 @@ void static_recompute_connectivity::batch_insert(std::span<const edge> es) {
   edges_.reserve_for(es.size());
   parallel_for(0, es.size(), [&](size_t i) {
     edge c = es[i].canonical();
-    if (!c.is_self_loop()) edges_.insert(edge_key(c), 1);
+    // Canonical form has u <= v, so one bound check covers both endpoints.
+    // insert_if_absent, not insert: raw batches carry duplicate keys, and
+    // the overwrite path of insert() would race on the value slot.
+    if (!c.is_self_loop() && c.v < n_) edges_.insert_if_absent(edge_key(c), 1);
   });
-  stale_ = true;
+  stale_.store(true, std::memory_order_release);
 }
 
 void static_recompute_connectivity::batch_delete(std::span<const edge> es) {
   std::vector<uint64_t> keys(es.size());
   parallel_for(0, es.size(),
                [&](size_t i) { keys[i] = edge_key(es[i].canonical()); });
+  // Out-of-range keys can never have been inserted, so erase_batch drops
+  // them as plain absent entries — no per-vertex array is indexed here.
   edges_.erase_batch(keys);
-  stale_ = true;
+  stale_.store(true, std::memory_order_release);
 }
 
-void static_recompute_connectivity::refresh() const {
-  if (!stale_) return;
-  auto entries = edges_.entries();
-  std::vector<edge> all(entries.size());
-  parallel_for(0, entries.size(),
-               [&](size_t i) { all[i] = edge_from_key(entries[i].first); });
-  labels_ = connected_components(n_, all);
-  stale_ = false;
-  ++recomputes_;
+const std::vector<uint32_t>& static_recompute_connectivity::refresh() const {
+  // Fast path: acquire pairs with the release below, so a thread that
+  // observes fresh also observes the rebuilt labels.
+  if (!stale_.load(std::memory_order_acquire)) return labels_;
+  std::lock_guard<std::mutex> lock(refresh_mutex_);
+  if (stale_.load(std::memory_order_relaxed)) {
+    auto entries = edges_.entries();
+    std::vector<edge> all(entries.size());
+    parallel_for(0, entries.size(),
+                 [&](size_t i) { all[i] = edge_from_key(entries[i].first); });
+    labels_ = connected_components(n_, all);
+    recomputes_.fetch_add(1, std::memory_order_relaxed);
+    stale_.store(false, std::memory_order_release);
+  }
+  return labels_;
 }
 
 bool static_recompute_connectivity::connected(vertex_id u,
                                               vertex_id v) const {
-  refresh();
-  return labels_[u] == labels_[v];
+  if (u >= n_ || v >= n_) return false;
+  const auto& labels = refresh();
+  return labels[u] == labels[v];
 }
 
 std::vector<bool> static_recompute_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> qs) const {
-  refresh();
+  // Refresh once, up front — the parallel loop below must only ever read
+  // a quiescent label vector (never trigger or race a rebuild).
+  const auto& labels = refresh();
   // Byte array first: std::vector<bool> bit-packing is not safe for
   // concurrent writes to neighboring indices.
   std::vector<uint8_t> bits(qs.size());
   parallel_for(0, qs.size(), [&](size_t i) {
-    bits[i] = labels_[qs[i].first] == labels_[qs[i].second] ? 1 : 0;
+    // Quiescence: an update racing this query batch would violate the
+    // phase contract and could hand workers a resized labels_.
+    assert(!stale_.load(std::memory_order_relaxed));
+    auto [u, v] = qs[i];
+    bits[i] = u < n_ && v < n_ && labels[u] == labels[v] ? 1 : 0;
   });
   return std::vector<bool>(bits.begin(), bits.end());
 }
 
 std::vector<vertex_id> static_recompute_connectivity::components() const {
-  refresh();
-  return std::vector<vertex_id>(labels_.begin(), labels_.end());
+  const auto& labels = refresh();
+  return std::vector<vertex_id>(labels.begin(), labels.end());
 }
 
 }  // namespace bdc

@@ -1,0 +1,129 @@
+// Workload-adaptive engine router (ROADMAP: "workload-adaptive front
+// end"). Real update streams are phase-skewed — long insert-only
+// stretches, deletion bursts, query floods — and the paper's HDT structure
+// pays its full O(lg n)-level machinery even during phases where a
+// union-find would do. This front end keeps the batch API of
+// batch_dynamic_connectivity and routes each batch to the cheapest engine
+// for the stream phase observed so far:
+//
+//   * Insert-only epochs run on the work-efficient incremental engine
+//     (Simsiri et al., Euro-Par 2016): O(k α(n)) expected work per batch
+//     of k insertions, no level structure at all.
+//   * The first deletion batch that touches a present edge triggers a
+//     one-shot PROMOTION: the accumulated edge set is bulk-loaded into a
+//     fresh batch_dynamic_connectivity with a single batch_insert —
+//     Algorithm 2 computes a spanning forest of the whole set and
+//     registers the non-tree edges directly, O(m lg(1+n/m)) expected
+//     work, NOT a replay of the insert history. Deletion batches that
+//     touch no present edge (absent edges, self-loops, hostile ids) are
+//     dropped without promoting.
+//   * After promotion every update goes to the HDT structure; its
+//     existing non-tree fast path already short-circuits deletion batches
+//     that never touch the spanning forest.
+//   * Query batches are answered through a per-epoch rep-pair memo: each
+//     resolved vertex caches its component representative stamped with
+//     the current epoch, and every committed update batch bumps the epoch
+//     (wholesale invalidation). Query floods hit the memo; an update
+//     immediately un-caches everything.
+//
+// Same exclusive-phase contract as the underlying engines: queries may
+// not run concurrently with updates (the memo mutates under const).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/incremental_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "util/types.hpp"
+
+namespace bdc {
+
+struct router_options {
+  router_options() { dynamic_opts.substrate = bdc::substrate::blocked; }
+  /// Configuration of the batch_dynamic_connectivity built at promotion.
+  /// Defaults to the blocked substrate (fastest at every scale measured
+  /// so far; see README).
+  options dynamic_opts;
+  /// Per-epoch rep-pair memo for query batches (disable to A/B).
+  bool cache_queries = true;
+};
+
+/// Cumulative router instrumentation (stream_runner report, bench_router).
+struct router_statistics {
+  uint64_t insert_batches = 0;
+  uint64_t delete_batches = 0;
+  uint64_t query_batches = 0;
+  uint64_t phase_switches = 0;     // batch-kind transitions observed
+  uint64_t batches_on_unionfind = 0;
+  uint64_t batches_on_dynamic = 0;
+  uint64_t dropped_delete_batches = 0;  // pre-promotion, touched nothing
+  uint64_t promotions = 0;              // 0 or 1
+  uint64_t promotion_edges = 0;         // edges bulk-loaded at promotion
+  uint64_t promotion_micros = 0;        // one-shot bulk-load wall time
+  uint64_t cache_lookups = 0;           // endpoint memo probes
+  uint64_t cache_hits = 0;              // probes answered by the memo
+  uint64_t cache_invalidations = 0;     // epoch bumps (update batches)
+};
+
+class engine_router {
+ public:
+  explicit engine_router(vertex_id n, router_options opts = {});
+
+  [[nodiscard]] vertex_id num_vertices() const { return n_; }
+  /// Edge count of whichever engine is active (set semantics throughout).
+  [[nodiscard]] size_t num_edges() const;
+  /// True once the first effective deletion promoted to the HDT engine.
+  [[nodiscard]] bool promoted() const { return dynamic_ != nullptr; }
+
+  /// Same input semantics as batch_dynamic_connectivity::batch_insert:
+  /// self-loops, duplicates, present edges, and out-of-range ids are
+  /// ignored.
+  void batch_insert(std::span<const edge> es);
+  /// Same input semantics as batch_dynamic_connectivity::batch_delete;
+  /// triggers the one-shot promotion on the first batch that deletes a
+  /// present edge.
+  void batch_delete(std::span<const edge> es);
+
+  /// Out-of-range endpoints answer false.
+  [[nodiscard]] std::vector<bool> batch_connected(
+      std::span<const std::pair<vertex_id, vertex_id>> qs) const;
+  [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
+  /// Min-vertex component labels (both engines share the contract).
+  [[nodiscard]] std::vector<vertex_id> components() const;
+
+  [[nodiscard]] const router_statistics& stats() const { return stats_; }
+  /// The promoted HDT engine, or nullptr pre-promotion (diagnostics).
+  [[nodiscard]] const batch_dynamic_connectivity* dynamic_engine() const {
+    return dynamic_.get();
+  }
+
+ private:
+  enum class op_kind : uint8_t { none, insert, erase, query };
+
+  void note_phase(op_kind k) const;
+  void invalidate_cache() const;
+  /// Bulk-loads the accumulated edge set into a fresh HDT structure.
+  void promote();
+
+  vertex_id n_;
+  router_options opts_;
+  incremental_connectivity inc_;
+  std::unique_ptr<batch_dynamic_connectivity> dynamic_;
+  mutable router_statistics stats_;
+  mutable op_kind last_op_ = op_kind::none;
+
+  // Per-epoch rep memo: cache_rep_[v] is v's component representative,
+  // valid only while cache_stamp_[v] == cache_epoch_. Representatives are
+  // engine-native (union-find root pre-promotion, top-forest rep handle
+  // after) — equality within one epoch is exactly connectivity, and the
+  // epoch bump on every update batch retires stale handles before any
+  // substrate mutation could reuse them.
+  mutable std::vector<uint64_t> cache_rep_;
+  mutable std::vector<uint64_t> cache_stamp_;
+  mutable uint64_t cache_epoch_ = 1;
+};
+
+}  // namespace bdc

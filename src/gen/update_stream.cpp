@@ -90,6 +90,88 @@ update_stream make_sliding_window_stream(const std::vector<edge>& graph,
   return stream;
 }
 
+update_stream make_phase_skewed_stream(const std::vector<edge>& graph,
+                                       vertex_id n, size_t batch,
+                                       size_t flood_batches,
+                                       size_t flood_queries, uint64_t seed) {
+  std::vector<edge> es = graph;
+  shuffle_edges(es, seed);
+  batch = std::max<size_t>(1, batch);
+
+  update_stream stream;
+  uint64_t qseed = hash64(seed + 0x9e37);
+  auto push_queries = [&](size_t k) {
+    update_batch q;
+    q.op = update_batch::kind::query;
+    q.queries = make_query_batch(n, k, qseed++);
+    stream.push_back(std::move(q));
+  };
+  auto push_edges = [&](update_batch::kind op, std::vector<edge> edges) {
+    if (edges.empty()) return;
+    update_batch b;
+    b.op = op;
+    b.edges = std::move(edges);
+    stream.push_back(std::move(b));
+  };
+
+  // Phase 1: insert ramp over ~3/4 of the edges (the rest feed churn).
+  size_t reserve_lo = es.size() - es.size() / 4;
+  std::vector<edge> alive(es.begin(),
+                          es.begin() + static_cast<ptrdiff_t>(reserve_lo));
+  size_t ramp_batches = 0;
+  for (size_t lo = 0; lo < reserve_lo; lo += batch) {
+    size_t hi = std::min(reserve_lo, lo + batch);
+    push_edges(update_batch::kind::insert,
+               {es.begin() + static_cast<ptrdiff_t>(lo),
+                es.begin() + static_cast<ptrdiff_t>(hi)});
+    if (++ramp_batches % 2 == 0) push_queries(16);
+  }
+
+  // Phase 2: churn. Each round deletes batch/8 random alive edges and
+  // inserts batch/8 fresh edges from the reserve.
+  random cr(hash64(seed + 0xc0c0));
+  uint64_t ci = 0;
+  size_t reserve_next = reserve_lo;
+  size_t churn = std::max<size_t>(1, batch / 8);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<edge> dels;
+    for (size_t j = 0; j < churn && !alive.empty(); ++j) {
+      size_t pick = cr.ith_rand(ci++, alive.size());
+      dels.push_back(alive[pick]);
+      alive[pick] = alive.back();
+      alive.pop_back();
+    }
+    push_edges(update_batch::kind::erase, std::move(dels));
+    std::vector<edge> ins;
+    for (size_t j = 0; j < churn && reserve_next < es.size(); ++j) {
+      ins.push_back(es[reserve_next]);
+      alive.push_back(es[reserve_next]);
+      ++reserve_next;
+    }
+    push_edges(update_batch::kind::insert, std::move(ins));
+    push_queries(16);
+  }
+
+  // Phase 3: query flood (no updates — a per-epoch result cache should
+  // serve every batch after the first from the memo).
+  for (size_t i = 0; i < flood_batches; ++i) push_queries(flood_queries);
+
+  // Phase 4: deletion burst — a burst, not a teardown: up to 4 batches of
+  // `batch` random alive edges, each followed by a small query batch (the
+  // monitoring reads that accompany real churn).
+  shuffle_edges(alive, hash64(seed + 0xdead));
+  size_t burst = std::min(alive.size(), 4 * batch);
+  for (size_t lo = 0; lo < burst; lo += batch) {
+    size_t hi = std::min(burst, lo + batch);
+    push_edges(update_batch::kind::erase,
+               {alive.begin() + static_cast<ptrdiff_t>(lo),
+                alive.begin() + static_cast<ptrdiff_t>(hi)});
+    push_queries(16);
+  }
+  push_queries(64);
+  return stream;
+}
+
 std::vector<std::pair<vertex_id, vertex_id>> make_query_batch(
     vertex_id n, size_t k, uint64_t seed) {
   random r(seed);

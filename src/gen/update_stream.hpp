@@ -39,6 +39,22 @@ update_stream make_sliding_window_stream(const std::vector<edge>& graph,
                                          size_t window, size_t batch,
                                          uint64_t seed);
 
+/// A phase-skewed mixed trace (the engine_router's target workload):
+///   1. insert ramp — all of `graph` except a held-out churn reserve, in
+///      batches of `batch`, a small query batch every 2nd insert batch;
+///   2. churn — 16 rounds alternating a deletion and an insertion batch
+///      of batch/8 edges (deletes sample the alive set, inserts drain the
+///      reserve), each round followed by a small query batch;
+///   3. query flood — `flood_batches` consecutive batches of
+///      `flood_queries` uniform queries, no updates in between;
+///   4. deletion burst — up to 4 batches of `batch` random alive edges,
+///      each followed by a small query batch, plus one final query batch.
+/// Deterministic in `seed`.
+update_stream make_phase_skewed_stream(const std::vector<edge>& graph,
+                                       vertex_id n, size_t batch,
+                                       size_t flood_batches,
+                                       size_t flood_queries, uint64_t seed);
+
 /// Uniform random query batches.
 std::vector<std::pair<vertex_id, vertex_id>> make_query_batch(
     vertex_id n, size_t k, uint64_t seed);

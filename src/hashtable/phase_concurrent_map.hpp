@@ -9,6 +9,10 @@
 // this library already has. Under that contract each slot has a single
 // writer, so values need no atomicity; only the key claim uses CAS.
 //
+// insert_if_absent() relaxes the insert phase to allow duplicate keys: a
+// caller that finds the key already claimed returns without touching the
+// value slot, so the claiming winner remains the slot's single writer.
+//
 // A batch of k operations costs O(k) expected work and O(lg k) depth w.h.p.
 // (the paper's dictionary achieves O(lg* k) depth; nothing downstream needs
 // sub-logarithmic depth — see DESIGN.md §4).
@@ -77,47 +81,20 @@ class phase_concurrent_map {
     }
   }
 
-  /// Inserts (k, v); returns true if the key was new. Safe concurrently with
-  /// other inserts of distinct keys. Keys kEmpty/kTombstone are reserved.
-  bool insert(key_type k, const V& v) {
-    assert(k != kEmpty && k != kTombstone);
-    size_t mask = keys_.size() - 1;
-    while (true) {
-      // Pass 1: walk the probe chain to the key or the first empty slot,
-      // remembering the first tombstone. Claiming a tombstone before
-      // confirming the key is absent further down the chain would create
-      // a duplicate entry.
-      size_t i = hash64(k) & mask;
-      size_t target = SIZE_MAX;  // first tombstone seen
-      while (true) {
-        key_type cur = keys_[i].load(std::memory_order_acquire);
-        if (cur == k) {
-          values_[i] = v;  // overwrite (single writer per key by contract)
-          return false;
-        }
-        if (cur == kEmpty) {
-          if (target == SIZE_MAX) target = i;
-          break;
-        }
-        if (cur == kTombstone && target == SIZE_MAX) target = i;
-        i = (i + 1) & mask;
-      }
-      // Pass 2: claim the slot, then write the value. Readers only access
-      // values in later phases (after a fork-join barrier orders the value
-      // write); writing the value before the CAS would let a racing insert
-      // of a different key clobber it.
-      key_type expected = keys_[target].load(std::memory_order_acquire);
-      if (expected != kEmpty && expected != kTombstone) continue;  // raced
-      if (keys_[target].compare_exchange_strong(expected, k,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_acquire)) {
-        values_[target] = v;
-        size_.fetch_add(1, std::memory_order_relaxed);
-        return true;
-      }
-      // Lost the claim to a racing insert (contract: of a different key);
-      // rescan from scratch.
-    }
+  /// Inserts (k, v); returns true if the key was new, overwriting the value
+  /// otherwise. Safe concurrently with other inserts of distinct keys.
+  /// Keys kEmpty/kTombstone are reserved.
+  bool insert(key_type k, const V& v) { return insert_impl<true>(k, v); }
+
+  /// Inserts (k, v) only if the key is absent; returns true iff this call
+  /// claimed the key. Unlike insert(), concurrent calls with the SAME key
+  /// are safe: within an insert phase slots move monotonically from
+  /// empty/tombstone to a key, so duplicate callers either lose the CAS on
+  /// the claimed slot or see the key on rescan — and then return without
+  /// touching the value, leaving the winner as the slot's single writer.
+  /// Use this for batches that may carry duplicate keys (edge streams do).
+  bool insert_if_absent(key_type k, const V& v) {
+    return insert_impl<false>(k, v);
   }
 
   /// Pointer to the value for k, or nullptr. Safe concurrently with other
@@ -205,6 +182,50 @@ class phase_concurrent_map {
   }
 
  private:
+  template <bool Overwrite>
+  bool insert_impl(key_type k, const V& v) {
+    assert(k != kEmpty && k != kTombstone);
+    size_t mask = keys_.size() - 1;
+    while (true) {
+      // Pass 1: walk the probe chain to the key or the first empty slot,
+      // remembering the first tombstone. Claiming a tombstone before
+      // confirming the key is absent further down the chain would create
+      // a duplicate entry.
+      size_t i = hash64(k) & mask;
+      size_t target = SIZE_MAX;  // first tombstone seen
+      while (true) {
+        key_type cur = keys_[i].load(std::memory_order_acquire);
+        if (cur == k) {
+          // Overwrite only under the distinct-keys contract (single writer
+          // per key); if_absent callers may be racing the claim's winner.
+          if constexpr (Overwrite) values_[i] = v;
+          return false;
+        }
+        if (cur == kEmpty) {
+          if (target == SIZE_MAX) target = i;
+          break;
+        }
+        if (cur == kTombstone && target == SIZE_MAX) target = i;
+        i = (i + 1) & mask;
+      }
+      // Pass 2: claim the slot, then write the value. Readers only access
+      // values in later phases (after a fork-join barrier orders the value
+      // write); writing the value before the CAS would let a racing insert
+      // of a different key clobber it.
+      key_type expected = keys_[target].load(std::memory_order_acquire);
+      if (expected != kEmpty && expected != kTombstone) continue;  // raced
+      if (keys_[target].compare_exchange_strong(expected, k,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        values_[target] = v;
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the claim to a racing insert; rescan from scratch (a same-key
+      // racer, legal for if_absent, will find the key and bail out above).
+    }
+  }
+
   void maybe_compact() {
     size_t tombs = tombstones_since_rebuild_.load(std::memory_order_relaxed);
     if (2 * (size() + tombs) >= capacity() && tombs > size() / 2) {

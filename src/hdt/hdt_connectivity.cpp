@@ -77,7 +77,11 @@ edge hdt_connectivity::first_adj(int level, vertex_id w, bool is_tree) const {
 
 void hdt_connectivity::insert(edge e) {
   edge c = e.canonical();
-  if (c.is_self_loop() || records_.contains(edge_key(c))) return;
+  // Canonical form has u <= v, so one bound check covers both endpoints;
+  // without it a hostile id would index the per-vertex adjacency arrays
+  // out of bounds (ISSUE 8: validate in the library, not in callers).
+  if (c.is_self_loop() || c.v >= n_ || records_.contains(edge_key(c)))
+    return;
   stats_.edges_inserted++;
   int t = top();
   bool is_tree = !forest(t).connected(c.u, c.v);
@@ -91,6 +95,7 @@ void hdt_connectivity::insert(edge e) {
 
 void hdt_connectivity::erase(edge e) {
   edge c = e.canonical();
+  if (c.v >= n_) return;  // can never have been inserted
   const record* rec = records_.find(edge_key(c));
   if (rec == nullptr) return;
   stats_.edges_deleted++;
@@ -151,6 +156,7 @@ void hdt_connectivity::replace(int level, vertex_id u, vertex_id v) {
 }
 
 bool hdt_connectivity::connected(vertex_id u, vertex_id v) const {
+  if (u >= n_ || v >= n_) return false;
   return forest_if(top())->connected(u, v);
 }
 
@@ -160,7 +166,27 @@ bool hdt_connectivity::has_edge(edge e) const {
 
 std::vector<bool> hdt_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> qs) const {
-  return forest_if(top())->batch_connected(qs);
+  // Out-of-range endpoints answer false (the dynamic structure's
+  // contract). Remap them to the trivially-true (0, 0) probe so the
+  // forest only ever sees valid ids, then mask the answers.
+  bool any_hostile = false;
+  for (const auto& [u, v] : qs) {
+    if (u >= n_ || v >= n_) {
+      any_hostile = true;
+      break;
+    }
+  }
+  if (!any_hostile) return forest_if(top())->batch_connected(qs);
+  if (n_ == 0) return std::vector<bool>(qs.size(), false);
+  std::vector<std::pair<vertex_id, vertex_id>> clean(qs.begin(), qs.end());
+  for (auto& [u, v] : clean) {
+    if (u >= n_ || v >= n_) u = v = 0;
+  }
+  std::vector<bool> out = forest_if(top())->batch_connected(clean);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (qs[i].first >= n_ || qs[i].second >= n_) out[i] = false;
+  }
+  return out;
 }
 
 std::string hdt_connectivity::check_invariants() const {

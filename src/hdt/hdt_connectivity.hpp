@@ -35,10 +35,13 @@ class hdt_connectivity {
     return static_cast<int>(levels_.size());
   }
 
-  /// Inserts one edge; self-loops and duplicates are ignored.
+  /// Inserts one edge; self-loops, duplicates, and edges with an endpoint
+  /// outside [0, n) are ignored.
   void insert(edge e);
-  /// Deletes one edge; absent edges are ignored.
+  /// Deletes one edge; absent edges (including out-of-range ids) are
+  /// ignored.
   void erase(edge e);
+  /// Out-of-range endpoints answer false.
   [[nodiscard]] bool connected(vertex_id u, vertex_id v) const;
   [[nodiscard]] bool has_edge(edge e) const;
 

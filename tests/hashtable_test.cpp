@@ -116,6 +116,43 @@ TEST_P(PhaseMapBatchSweep, ConcurrentErases) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PhaseMapBatchSweep,
                          ::testing::Values(1, 2, 100, 10000, 200000));
 
+TEST(PhaseMap, SequentialInsertIfAbsentNeverOverwrites) {
+  phase_concurrent_map<int> m(4);
+  EXPECT_TRUE(m.insert_if_absent(1, 10));
+  EXPECT_FALSE(m.insert_if_absent(1, 11));
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);  // first value sticks
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// Regression (TSan): duplicate-key concurrent inserts. The baselines feed
+// raw edge batches — repeats and both orientations of the same edge — to
+// the map in one parallel phase. insert() would race on the value slot
+// (and is kept distinct-keys-only); insert_if_absent must give exactly one
+// winner per key with no duplicate entries or size over-count.
+TEST(PhaseMap, ConcurrentDuplicateKeyInsertIfAbsent) {
+  const size_t distinct = 512;
+  const size_t copies = 64;
+  phase_concurrent_map<uint64_t> m(4);
+  m.reserve_for(distinct);
+  std::vector<std::atomic<size_t>> wins(distinct);
+  for (auto& w : wins) w.store(0, std::memory_order_relaxed);
+  parallel_for(0, distinct * copies, [&](size_t i) {
+    uint64_t key = i % distinct + 1;
+    if (m.insert_if_absent(key, key * 3)) {
+      wins[key - 1].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(m.size(), distinct);
+  EXPECT_EQ(m.entries().size(), distinct);  // no duplicate slots
+  for (size_t k = 0; k < distinct; ++k) {
+    EXPECT_EQ(wins[k].load(std::memory_order_relaxed), 1u) << k;
+    auto* p = m.find(k + 1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, (k + 1) * 3);
+  }
+}
+
 TEST(PhaseMap, EntriesEnumeratesAll) {
   phase_concurrent_map<int> m(4);
   m.reserve_for(100);

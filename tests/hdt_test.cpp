@@ -108,6 +108,42 @@ TEST(Hdt, DeleteEntireDenseGraph) {
   EXPECT_TRUE(dc.check_invariants().empty());
 }
 
+// Out-of-range ids are validated inside the structure itself (matching
+// batch_dynamic_connectivity's drop/false semantics) — callers no longer
+// pre-filter.
+TEST(Hdt, HostileIdsDropAndAnswerFalse) {
+  const vertex_id n = 16;
+  hdt_connectivity dc(n);
+  dc.insert({0, 1});
+  dc.insert({1, n});       // dropped: endpoint out of range
+  dc.insert({n + 7, 2});   // dropped
+  EXPECT_EQ(dc.num_edges(), 1u);
+  dc.erase({1, n});        // no-op, not corruption
+  dc.erase({n, n});        // no-op
+  EXPECT_EQ(dc.num_edges(), 1u);
+  EXPECT_FALSE(dc.connected(1, n));
+  EXPECT_FALSE(dc.connected(n, n + 1));
+  EXPECT_TRUE(dc.connected(0, 1));
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {
+      {0, 1}, {0, n}, {n + 3, n + 3}, {0, 2}};
+  EXPECT_EQ(dc.batch_connected(qs),
+            (std::vector<bool>{true, false, false, false}));
+  // Batch updates share the single-op validation.
+  dc.batch_insert(std::vector<edge>{{2, 3}, {3, n}, {n, n + 1}});
+  EXPECT_EQ(dc.num_edges(), 2u);
+  dc.batch_delete(std::vector<edge>{{3, n}, {n, n + 1}});
+  EXPECT_EQ(dc.num_edges(), 2u);
+  EXPECT_TRUE(dc.check_invariants().empty());
+}
+
+// An empty structure (n = 0) must answer every hostile query false.
+TEST(Hdt, EmptyStructureHostileQueries) {
+  hdt_connectivity dc(0);
+  EXPECT_FALSE(dc.connected(0, 1));
+  std::vector<std::pair<vertex_id, vertex_id>> qs = {{0, 0}, {5, 9}};
+  EXPECT_EQ(dc.batch_connected(qs), (std::vector<bool>{false, false}));
+}
+
 TEST(Hdt, StatsAccumulate) {
   hdt_connectivity dc(32);
   auto es = gen_erdos_renyi(32, 100, 9);

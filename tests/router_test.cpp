@@ -1,0 +1,392 @@
+// engine_router (the workload-adaptive front end) test suite.
+//
+// Three groups:
+//   * RouterDifferential — phase-skewed mixed traces replayed in lockstep
+//     through the router AND every fixed engine (HDT batch structure,
+//     sequential HDT, static recompute), all checked against a union-find
+//     oracle rebuilt from scratch at every query batch. The router must be
+//     indistinguishable from the fixed engines on every answer, edge
+//     count, and components() labelling.
+//   * Promotion boundaries — deletion in batch 0, deletions of
+//     never-inserted edges (which must NOT promote), and promotion with
+//     self-loops / duplicates / out-of-range ids pending in the
+//     accumulated edge set.
+//   * Cache invalidation — a query batch populates the per-epoch rep
+//     memo; a subsequent update that changes connectivity must be visible
+//     to the very next query (regression for the epoch-bump contract),
+//     both before and after promotion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/static_connectivity.hpp"
+#include "core/batch_connectivity.hpp"
+#include "core/engine_router.hpp"
+#include "gen/graph_gen.hpp"
+#include "gen/update_stream.hpp"
+#include "hdt/hdt_connectivity.hpp"
+#include "spanning/union_find.hpp"
+#include "test_workers.hpp"
+#include "util/random.hpp"
+
+namespace bdc {
+namespace {
+
+using ::bdc::testing::worker_pool_guard;
+using ::bdc::testing::workers_name;
+
+using query_list = std::vector<std::pair<vertex_id, vertex_id>>;
+
+// ---------------------------------------------------------------------
+// Differential replay: router vs fixed engines vs union-find oracle on
+// the same phase-skewed trace the router is built for.
+// ---------------------------------------------------------------------
+
+struct diff_params {
+  vertex_id n;
+  size_t m;
+  size_t batch;
+  unsigned workers;  // 0 = hardware pool
+  uint64_t seed;
+  bool cache;  // router memo on/off (both must be indistinguishable)
+};
+
+class RouterDifferential : public ::testing::TestWithParam<diff_params> {};
+
+TEST_P(RouterDifferential, PhaseSkewedTraceLockstep) {
+  const diff_params p = GetParam();
+  worker_pool_guard pool(p.workers);
+  SCOPED_TRACE("repro: n=" + std::to_string(p.n) + " m=" +
+               std::to_string(p.m) + " batch=" + std::to_string(p.batch) +
+               " workers=" + workers_name(p.workers) + " seed=" +
+               std::to_string(p.seed) + " cache=" +
+               (p.cache ? "on" : "off"));
+  auto graph = gen_erdos_renyi(p.n, p.m, p.seed);
+  auto stream = make_phase_skewed_stream(graph, p.n, p.batch,
+                                         /*flood_batches=*/4,
+                                         /*flood_queries=*/2 * p.batch,
+                                         p.seed + 1);
+  // Hostile garbage the trace generator never emits: the router and every
+  // fixed engine must shrug these off identically.
+  if (!stream.empty() && stream[0].op == update_batch::kind::insert) {
+    stream[0].edges.push_back({3, 3});                    // self loop
+    stream[0].edges.push_back({1, p.n + 5});              // out of range
+    stream[0].edges.push_back({p.n, p.n});                // OOR self loop
+    if (stream[0].edges.size() > 2)
+      stream[0].edges.push_back(stream[0].edges[0]);      // duplicate
+  }
+
+  router_options ro;
+  ro.cache_queries = p.cache;
+  engine_router router(p.n, ro);
+  batch_dynamic_connectivity dynamic(p.n, ro.dynamic_opts);
+  hdt_connectivity hdt(p.n);
+  static_recompute_connectivity stat(p.n);
+
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  size_t batch_index = 0;
+  for (const auto& b : stream) {
+    SCOPED_TRACE("batch " + std::to_string(batch_index++));
+    switch (b.op) {
+      case update_batch::kind::insert:
+        router.batch_insert(b.edges);
+        dynamic.batch_insert(b.edges);
+        hdt.batch_insert(b.edges);
+        stat.batch_insert(b.edges);
+        for (edge e : b.edges) {
+          edge c = e.canonical();
+          if (!c.is_self_loop() && c.v < p.n) present.insert({c.u, c.v});
+        }
+        break;
+      case update_batch::kind::erase:
+        router.batch_delete(b.edges);
+        dynamic.batch_delete(b.edges);
+        hdt.batch_delete(b.edges);
+        stat.batch_delete(b.edges);
+        for (edge e : b.edges) {
+          edge c = e.canonical();
+          present.erase({c.u, c.v});
+        }
+        break;
+      case update_batch::kind::query: {
+        union_find oracle(p.n);
+        for (auto& pe : present) oracle.unite(pe.first, pe.second);
+        auto got_r = router.batch_connected(b.queries);
+        auto got_d = dynamic.batch_connected(b.queries);
+        auto got_h = hdt.batch_connected(b.queries);
+        auto got_s = stat.batch_connected(b.queries);
+        for (size_t q = 0; q < b.queries.size(); ++q) {
+          auto [u, v] = b.queries[q];
+          bool want = oracle.connected(u, v);
+          ASSERT_EQ(got_r[q], want) << "router, query " << u << "," << v;
+          ASSERT_EQ(got_d[q], want) << "dynamic, query " << u << "," << v;
+          ASSERT_EQ(got_h[q], want) << "hdt, query " << u << "," << v;
+          ASSERT_EQ(got_s[q], want) << "static, query " << u << "," << v;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(router.num_edges(), present.size());
+  }
+
+  // The trace ends with a deletion burst, so the router must have
+  // promoted exactly once and stayed promoted.
+  const auto& st = router.stats();
+  EXPECT_TRUE(router.promoted());
+  EXPECT_EQ(st.promotions, 1u);
+  EXPECT_GT(st.promotion_edges, 0u);
+  EXPECT_GT(st.phase_switches, 0u);
+  EXPECT_GT(st.batches_on_unionfind, 0u);
+  EXPECT_GT(st.batches_on_dynamic, 0u);
+  EXPECT_LE(st.cache_hits, st.cache_lookups);
+  if (!p.cache) {
+    EXPECT_EQ(st.cache_lookups, 0u);
+  }
+
+  // components() labelling agrees with a from-scratch oracle walk.
+  union_find oracle(p.n);
+  for (auto& pe : present) oracle.unite(pe.first, pe.second);
+  std::vector<vertex_id> want(p.n);
+  std::vector<vertex_id> min_at(p.n, p.n);
+  for (vertex_id v = 0; v < p.n; ++v) {
+    vertex_id r = static_cast<vertex_id>(oracle.find(v));
+    if (min_at[r] == p.n) min_at[r] = v;
+  }
+  for (vertex_id v = 0; v < p.n; ++v)
+    want[v] = min_at[static_cast<vertex_id>(oracle.find(v))];
+  EXPECT_EQ(router.components(), want);
+  EXPECT_EQ(dynamic.components(), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RouterDifferential,
+    ::testing::Values(diff_params{256, 512, 16, 1, 11, true},
+                      diff_params{256, 512, 16, 1, 12, false},
+                      diff_params{512, 1536, 64, 2, 13, true},
+                      diff_params{1024, 4096, 96, 0, 14, true},
+                      diff_params{1024, 4096, 96, 0, 15, false},
+                      diff_params{2048, 8192, 128, 0, 16, true}),
+    [](const ::testing::TestParamInfo<diff_params>& info) {
+      return "n" + std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.batch) + "_w" +
+             workers_name(info.param.workers) + "_s" +
+             std::to_string(info.param.seed) +
+             (info.param.cache ? "_cache" : "_nocache");
+    });
+
+// An insert-only trace must never promote: the router stays on the
+// union-find engine the whole way and still answers like the oracle.
+TEST(RouterDifferential, InsertOnlyTraceNeverPromotes) {
+  const vertex_id n = 512;
+  auto graph = gen_erdos_renyi(n, 2048, 21);
+  auto stream = make_insertion_stream(graph, 64, 22);
+  engine_router router(n);
+  union_find oracle(n);
+  for (const auto& b : stream) {
+    router.batch_insert(b.edges);
+    for (edge e : b.edges)
+      if (!e.is_self_loop()) oracle.unite(e.u, e.v);
+    auto qs = make_query_batch(n, 64, b.edges.empty() ? 1 : b.edges[0].u);
+    auto got = router.batch_connected(qs);
+    for (size_t q = 0; q < qs.size(); ++q)
+      ASSERT_EQ(got[q], oracle.connected(qs[q].first, qs[q].second));
+  }
+  EXPECT_FALSE(router.promoted());
+  EXPECT_EQ(router.stats().promotions, 0u);
+  EXPECT_EQ(router.stats().batches_on_dynamic, 0u);
+  EXPECT_EQ(router.dynamic_engine(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Promotion boundaries.
+// ---------------------------------------------------------------------
+
+TEST(RouterPromotion, DeletionInBatchZeroIsDroppedNotPromoted) {
+  engine_router r(16);
+  // Very first batch the router ever sees is a deletion. Nothing is
+  // present, so it cannot touch anything: dropped, no promotion.
+  r.batch_delete(std::vector<edge>{{1, 2}, {3, 3}, {100, 200}});
+  EXPECT_FALSE(r.promoted());
+  EXPECT_EQ(r.stats().dropped_delete_batches, 1u);
+  EXPECT_EQ(r.stats().promotions, 0u);
+  EXPECT_EQ(r.num_edges(), 0u);
+  EXPECT_FALSE(r.connected(1, 2));
+}
+
+TEST(RouterPromotion, AbsentEdgeDeletionsNeverPromote) {
+  engine_router r(32);
+  r.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {4, 5}});
+  // None of these are present: (2,3) was never inserted, (7,7) is a self
+  // loop, (0,2) is connected but not an edge, (40,41) is out of range.
+  r.batch_delete(std::vector<edge>{{2, 3}, {7, 7}, {0, 2}, {40, 41}});
+  EXPECT_FALSE(r.promoted());
+  EXPECT_EQ(r.stats().dropped_delete_batches, 1u);
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_TRUE(r.connected(0, 2));
+  EXPECT_TRUE(r.connected(4, 5));
+  // The first deletion that does touch a present edge promotes — once.
+  r.batch_delete(std::vector<edge>{{1, 2}});
+  EXPECT_TRUE(r.promoted());
+  EXPECT_EQ(r.stats().promotions, 1u);
+  EXPECT_EQ(r.stats().promotion_edges, 3u);
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_TRUE(r.connected(0, 1));
+  EXPECT_FALSE(r.connected(0, 2));
+  // Post-promotion absent-edge deletions go to the HDT engine (no more
+  // drop counting) and stay correct.
+  r.batch_delete(std::vector<edge>{{2, 3}, {40, 41}});
+  EXPECT_EQ(r.stats().promotions, 1u);
+  EXPECT_EQ(r.num_edges(), 2u);
+}
+
+TEST(RouterPromotion, PromotesWithGarbagePendingInAccumulatedSet) {
+  const vertex_id n = 64;
+  engine_router r(n);
+  // Accumulate a set laced with self-loops, duplicates (both
+  // orientations), and out-of-range ids, across several batches.
+  r.batch_insert(std::vector<edge>{{0, 1}, {1, 0}, {5, 5}, {2, 3}});
+  r.batch_insert(std::vector<edge>{{2, 3}, {3, 2}, {63, 64}, {70, 9}});
+  r.batch_insert(std::vector<edge>{{10, 11}, {11, 12}, {10, 11}});
+  ASSERT_EQ(r.num_edges(), 4u);  // {0,1},{2,3},{10,11},{11,12}
+  ASSERT_FALSE(r.promoted());
+  // Promote by deleting a present edge; the bulk load must carry exactly
+  // the distinct real edges.
+  r.batch_delete(std::vector<edge>{{11, 12}});
+  EXPECT_TRUE(r.promoted());
+  EXPECT_EQ(r.stats().promotion_edges, 4u);
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_TRUE(r.connected(0, 1));
+  EXPECT_TRUE(r.connected(2, 3));
+  EXPECT_TRUE(r.connected(10, 11));
+  EXPECT_FALSE(r.connected(11, 12));
+  EXPECT_FALSE(r.connected(5, 6));
+  // The promoted engine agrees on the edge count (set semantics).
+  ASSERT_NE(r.dynamic_engine(), nullptr);
+  EXPECT_EQ(r.dynamic_engine()->num_edges(), 3u);
+}
+
+TEST(RouterPromotion, PromotionPreservesComponentStructure) {
+  // A graph with several nontrivial components; promotion must not merge
+  // or split anything.
+  const vertex_id n = 1024;
+  auto graph = gen_erdos_renyi(n, 1200, 31);
+  engine_router r(n);
+  r.batch_insert(graph);
+  auto before = r.components();
+  ASSERT_FALSE(r.promoted());
+  // Delete one present edge to force promotion, then re-insert it: the
+  // labelling must round-trip.
+  edge victim = graph[17].canonical();
+  r.batch_delete(std::vector<edge>{victim});
+  ASSERT_TRUE(r.promoted());
+  r.batch_insert(std::vector<edge>{victim});
+  EXPECT_EQ(r.components(), before);
+}
+
+// ---------------------------------------------------------------------
+// Cache invalidation.
+// ---------------------------------------------------------------------
+
+TEST(RouterCache, UpdateAfterQueryInvalidatesPrePromotion) {
+  engine_router r(8);
+  r.batch_insert(std::vector<edge>{{0, 1}});
+  // Populate the memo for 0, 1, 2, 3.
+  query_list qs = {{0, 1}, {2, 3}};
+  auto a = r.batch_connected(qs);
+  EXPECT_TRUE(a[0]);
+  EXPECT_FALSE(a[1]);
+  // Still pre-promotion: an insert-only update must invalidate.
+  r.batch_insert(std::vector<edge>{{1, 2}, {2, 3}});
+  ASSERT_FALSE(r.promoted());
+  auto b = r.batch_connected(qs);
+  EXPECT_TRUE(b[0]);
+  EXPECT_TRUE(b[1]) << "stale memo served a pre-update representative";
+  EXPECT_GE(r.stats().cache_invalidations, 1u);
+}
+
+TEST(RouterCache, UpdateAfterQueryInvalidatesPostPromotion) {
+  engine_router r(8);
+  r.batch_insert(std::vector<edge>{{0, 1}, {1, 2}, {4, 5}});
+  r.batch_delete(std::vector<edge>{{1, 2}});  // promotes
+  ASSERT_TRUE(r.promoted());
+  query_list qs = {{0, 2}, {4, 5}, {0, 5}};
+  auto a = r.batch_connected(qs);
+  EXPECT_FALSE(a[0]);
+  EXPECT_TRUE(a[1]);
+  EXPECT_FALSE(a[2]);
+  // Reconnect through the dynamic engine; the memoized reps for 0/2/4/5
+  // are all stale now.
+  r.batch_insert(std::vector<edge>{{2, 4}, {1, 2}});
+  auto b = r.batch_connected(qs);
+  EXPECT_TRUE(b[0]);
+  EXPECT_TRUE(b[1]);
+  EXPECT_TRUE(b[2]) << "stale memo survived a post-promotion update";
+  // And a deletion invalidates too.
+  r.batch_delete(std::vector<edge>{{2, 4}});
+  auto c = r.batch_connected(qs);
+  EXPECT_TRUE(c[0]);   // 0-1-2 still a path
+  EXPECT_TRUE(c[1]);
+  EXPECT_FALSE(c[2]);
+}
+
+TEST(RouterCache, RepeatedFloodBatchesHitTheMemo) {
+  const vertex_id n = 512;
+  engine_router r(n);
+  r.batch_insert(gen_erdos_renyi(n, 1024, 41));
+  auto qs = make_query_batch(n, 256, 42);
+  auto first = r.batch_connected(qs);
+  uint64_t lookups_after_first = r.stats().cache_lookups;
+  uint64_t hits_after_first = r.stats().cache_hits;
+  // Identical flood batch, no update in between: every endpoint resolved
+  // by the first batch must now be a memo hit.
+  auto second = r.batch_connected(qs);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(r.stats().cache_hits - hits_after_first,
+            r.stats().cache_lookups - lookups_after_first)
+      << "second flood batch missed the memo despite no updates";
+  EXPECT_GT(r.stats().cache_hits, 0u);
+  // Disabled cache: no lookups counted at all.
+  router_options off;
+  off.cache_queries = false;
+  engine_router r2(n, off);
+  r2.batch_insert(std::vector<edge>{{0, 1}});
+  (void)r2.batch_connected(qs);
+  EXPECT_EQ(r2.stats().cache_lookups, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Statistics sanity.
+// ---------------------------------------------------------------------
+
+TEST(RouterStats, CountersAccountForEveryBatch) {
+  engine_router r(64);
+  r.batch_insert(std::vector<edge>{{0, 1}, {1, 2}});   // uf
+  r.batch_insert(std::vector<edge>{{2, 3}});           // uf
+  (void)r.batch_connected(query_list{{0, 3}});
+  r.batch_delete(std::vector<edge>{{9, 10}});          // dropped, uf
+  r.batch_delete(std::vector<edge>{{1, 2}});           // promotes, dynamic
+  r.batch_insert(std::vector<edge>{{5, 6}});           // dynamic
+  (void)r.batch_connected(query_list{{5, 6}});
+  const auto& st = r.stats();
+  EXPECT_EQ(st.insert_batches, 3u);
+  EXPECT_EQ(st.delete_batches, 2u);
+  EXPECT_EQ(st.query_batches, 2u);
+  // Update batches are attributed to exactly one engine.
+  EXPECT_EQ(st.batches_on_unionfind + st.batches_on_dynamic,
+            st.insert_batches + st.delete_batches);
+  EXPECT_EQ(st.batches_on_unionfind, 3u);  // 2 inserts + dropped delete
+  EXPECT_EQ(st.batches_on_dynamic, 2u);    // promoting delete + insert
+  EXPECT_EQ(st.dropped_delete_batches, 1u);
+  EXPECT_EQ(st.promotions, 1u);
+  EXPECT_GT(st.phase_switches, 0u);
+  // connected() routes through batch_connected: one more query batch.
+  EXPECT_TRUE(r.connected(5, 6));
+  EXPECT_EQ(r.stats().query_batches, 3u);
+}
+
+}  // namespace
+}  // namespace bdc

@@ -15,7 +15,10 @@
 //     policy, in lockstep with a from-scratch union-find oracle. Every
 //     config runs with the read service on, and after every committed
 //     batch the incrementally published snapshot is compared against a
-//     from-scratch components() walk.
+//     from-scratch components() walk. The adaptive engine_router rides
+//     along as one more lockstep structure (with and without its query
+//     memo), so its union-find epoch, one-shot promotion, and per-epoch
+//     cache face the same adversarial streams as the fixed engines.
 //
 // The grid is {substrate} x {workers: 1, 2, hardware} x {batch size}, and
 // every stream seed is a deterministic function of those parameters, so a
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "core/batch_connectivity.hpp"
+#include "core/engine_router.hpp"
 #include "ett/ett_substrate.hpp"
 #include "spanning/union_find.hpp"
 #include "test_substrates.hpp"
@@ -383,6 +387,20 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
     o.concurrent_reads = true;
     dcs.push_back(std::make_unique<batch_dynamic_connectivity>(n, o));
   }
+  // The adaptive router replays the same stream, once per memo setting.
+  // Its promoted engine uses the first kSubConfigs entry's options so a
+  // divergence still pins a config.
+  std::vector<std::unique_ptr<engine_router>> routers;
+  for (bool cache : {true, false}) {
+    router_options ro;
+    ro.dynamic_opts.seed = seed ^ (cache ? 0x200 : 0x201);
+    ro.dynamic_opts = kSubConfigs[0].apply(ro.dynamic_opts);
+    ro.cache_queries = cache;
+    routers.push_back(std::make_unique<engine_router>(n, ro));
+  }
+  auto router_name = [](size_t ri) {
+    return std::string(ri == 0 ? "router(cache)" : "router(nocache)");
+  };
   std::set<std::pair<vertex_id, vertex_id>> present;
   auto check_all = [&](size_t bi) -> std::string {
     for (size_t ci = 0; ci < dcs.size(); ++ci) {
@@ -395,6 +413,17 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
       if (!rep.ok)
         return std::string(kSubConfigs[ci].name) + ": " + rep.message +
                " after batch " + std::to_string(bi);
+    }
+    for (size_t ri = 0; ri < routers.size(); ++ri) {
+      if (routers[ri]->num_edges() != present.size())
+        return router_name(ri) + ": edge count " +
+               std::to_string(routers[ri]->num_edges()) + " != oracle " +
+               std::to_string(present.size()) + " after batch " +
+               std::to_string(bi);
+      const auto& rs = routers[ri]->stats();
+      if (rs.promotions > 1)
+        return router_name(ri) + ": promoted " +
+               std::to_string(rs.promotions) + " times (must be one-shot)";
     }
     return "";
   };
@@ -418,6 +447,7 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
     switch (b.op) {
       case bdc_batch::kind::insert:
         for (auto& dc : dcs) dc->batch_insert(b.edges);
+        for (auto& r : routers) r->batch_insert(b.edges);
         for (auto e : b.edges)
           if (!e.is_self_loop() && e.u < n && e.v < n)
             present.insert({e.canonical().u, e.canonical().v});
@@ -425,6 +455,7 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
         break;
       case bdc_batch::kind::erase:
         for (auto& dc : dcs) dc->batch_delete(b.edges);
+        for (auto& r : routers) r->batch_delete(b.edges);
         for (auto& e : b.edges)
           present.erase({e.canonical().u, e.canonical().v});
         if (auto err = check_snapshots(bi); !err.empty()) return err;
@@ -432,19 +463,31 @@ std::string replay_bdc(vertex_id n, uint64_t seed, const bdc_stream& stream,
       case bdc_batch::kind::query: {
         union_find oracle(n);
         for (auto& pe : present) oracle.unite(pe.first, pe.second);
-        for (size_t ci = 0; ci < dcs.size(); ++ci) {
-          auto got = dcs[ci]->batch_connected(b.queries);
+        auto check_queries =
+            [&](const std::vector<bool>& got,
+                const std::string& who) -> std::string {
           for (size_t q = 0; q < b.queries.size(); ++q) {
             bool want =
                 oracle.connected(b.queries[q].first, b.queries[q].second);
             if (got[q] != want)
-              return std::string(kSubConfigs[ci].name) + ": query (" +
+              return who + ": query (" +
                      std::to_string(b.queries[q].first) + "," +
                      std::to_string(b.queries[q].second) + ") -> " +
                      (got[q] ? "true" : "false") + ", oracle says " +
                      (want ? "true" : "false") + " at batch " +
                      std::to_string(bi);
           }
+          return "";
+        };
+        for (size_t ci = 0; ci < dcs.size(); ++ci) {
+          auto err = check_queries(dcs[ci]->batch_connected(b.queries),
+                                   kSubConfigs[ci].name);
+          if (!err.empty()) return err;
+        }
+        for (size_t ri = 0; ri < routers.size(); ++ri) {
+          auto err = check_queries(routers[ri]->batch_connected(b.queries),
+                                   router_name(ri));
+          if (!err.empty()) return err;
         }
         break;
       }
@@ -521,11 +564,11 @@ bdc_stream minimize_bdc_stream(
 }
 
 /// Prints a minimized stream in the stream_runner file format, ready to
-/// save and replay: `stream_runner run dynamic repro.stream`.
+/// save and replay: `stream_runner run --engine=dynamic repro.stream`.
 void print_bdc_repro(vertex_id n, const bdc_stream& stream) {
   std::printf(
       "=== minimized repro (save as repro.stream; replay with\n"
-      "    stream_runner run dynamic repro.stream) ===\n");
+      "    stream_runner run --engine=dynamic repro.stream) ===\n");
   std::printf("n %u\n", n);
   for (const bdc_batch& b : stream) {
     switch (b.op) {
@@ -647,7 +690,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair<unsigned, size_t>{1, 16},
                       std::pair<unsigned, size_t>{1, 96},
                       std::pair<unsigned, size_t>{2, 48},
+                      std::pair<unsigned, size_t>{2, 192},
                       std::pair<unsigned, size_t>{0, 16},
+                      std::pair<unsigned, size_t>{0, 48},
                       std::pair<unsigned, size_t>{0, 96}),
     [](const ::testing::TestParamInfo<std::pair<unsigned, size_t>>& info) {
       return "w" + workers_name(info.param.first) + "_b" +

@@ -4,15 +4,23 @@
 // profiling real workloads without writing C++.
 //
 // Usage:
-//   stream_runner gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
-//   stream_runner run [--substrate=skiplist|treap|blocked]
+//   stream_runner gen [--stream=deletion|mixed|window]
+//                     <erdos|rmat|grid> <n> <m> <batch> <seed> <out>
+//   stream_runner run [--engine=auto|dynamic|dynamic-simple|dynamic-scanall|
+//                      hdt|static|incremental]
+//                     [--substrate=skiplist|treap|blocked]
 //                     [--policy=<substrate>:<threshold>]
 //                     [--dispatch=static|virtual] [--workers=N]
-//                     <dynamic|dynamic-simple|dynamic-scanall|hdt|static|
-//                      incremental> <stream-file>
+//                     [--check] <stream-file>
 //   stream_runner            (no args: self-demo on a generated stream)
 //
-// --substrate selects the Euler-tour backend of the dynamic structures;
+// --engine picks the structure (default dynamic). `auto` is the
+// workload-adaptive engine_router: union-find during insert-only epochs,
+// one-shot bulk-load promotion to the HDT structure at the first
+// effective deletion, per-epoch rep memo for query floods; its routing
+// statistics (phase switches, promotion cost, cache hit rate) join the
+// report. --substrate selects the Euler-tour backend of the dynamic
+// structures (and of auto's promoted engine);
 // --policy=<substrate>:<threshold> additionally hands every level below
 // <threshold> to <substrate> (per-level substrate mixing, e.g.
 // --policy=blocked:8 for blocked tours on the bottom eight levels); a
@@ -27,15 +35,17 @@
 // differential-checked against the exact oracle of the committed state it
 // claims to reflect (see serve_replay below), and any mismatch fails the
 // run.
+// --check replays a union-find oracle in lockstep and differential-checks
+// every phased query answer (for the insert-only incremental engine the
+// oracle skips deletion batches — it validates the engine against its own
+// restricted model). Any mismatch fails the run.
 // After a replay the cumulative `statistics` counters of the structure
 // are printed, along with the aggregated node-pool report (allocation
 // traffic, retained bytes, and how much a high-watermark trim releases).
 //
-// Vertex ids in a stream file must be < the header's n. The dynamic
-// structures validate this themselves (out-of-range ids are dropped by
-// the library's public API); the thin baselines (hdt/static/incremental)
-// do not, so stream_runner pre-filters their replay and warns about every
-// dropped entry.
+// Vertex ids in a stream file need not be < the header's n: every
+// structure validates its inputs at the public API (out-of-range updates
+// are dropped, out-of-range queries answer false).
 //
 // Stream file format (text): first line "n <N>", then one line per batch:
 //   I <u1> <v1> <u2> <v2> ...     insertion batch
@@ -48,6 +58,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -57,6 +68,7 @@
 #include "baselines/incremental_connectivity.hpp"
 #include "baselines/static_connectivity.hpp"
 #include "core/batch_connectivity.hpp"
+#include "core/engine_router.hpp"
 #include "gen/graph_gen.hpp"
 #include "gen/update_stream.hpp"
 #include "hdt/hdt_connectivity.hpp"
@@ -68,6 +80,27 @@
 using namespace bdc;
 
 namespace {
+
+enum class engine_kind {
+  auto_router,
+  dynamic,
+  dynamic_simple,
+  dynamic_scanall,
+  hdt,
+  static_recompute,
+  incremental,
+};
+
+std::optional<engine_kind> engine_from_string(const std::string& s) {
+  if (s == "auto") return engine_kind::auto_router;
+  if (s == "dynamic") return engine_kind::dynamic;
+  if (s == "dynamic-simple") return engine_kind::dynamic_simple;
+  if (s == "dynamic-scanall") return engine_kind::dynamic_scanall;
+  if (s == "hdt") return engine_kind::hdt;
+  if (s == "static") return engine_kind::static_recompute;
+  if (s == "incremental") return engine_kind::incremental;
+  return std::nullopt;
+}
 
 void write_stream(const std::string& path, vertex_id n,
                   const update_stream& stream) {
@@ -126,13 +159,80 @@ bool read_stream(const std::string& path, vertex_id& n,
   return true;
 }
 
+/// Min-vertex component labels of the canonical edge set (the oracle).
+std::vector<vertex_id> oracle_labels(
+    vertex_id n, const std::unordered_set<uint64_t>& edges) {
+  union_find uf(n);
+  for (uint64_t key : edges) {
+    edge e = edge_from_key(key);
+    uf.unite(e.u, e.v);
+  }
+  std::vector<vertex_id> mins(n, kNoVertex);
+  std::vector<vertex_id> labels(n);
+  for (vertex_id v = 0; v < n; ++v) {
+    uint32_t r = uf.find(v);
+    if (mins[r] == kNoVertex) mins[r] = v;  // ascending v: first is min
+  }
+  for (vertex_id v = 0; v < n; ++v) labels[v] = mins[uf.find(v)];
+  return labels;
+}
+
+// Lockstep union-find differential (--check): mirrors the library's edge
+// semantics (canonicalize; drop self-loops and out-of-range; set
+// semantics) and verifies every phased query answer against min-vertex
+// oracle labels, rebuilt lazily once per dirty query batch. Runs outside
+// the replay timers, so --check does not skew the throughput report.
+struct oracle_checker {
+  vertex_id n = 0;
+  /// false for the insert-only incremental engine: its model never sees
+  /// deletions, so neither does its oracle.
+  bool track_deletes = true;
+  std::unordered_set<uint64_t> edges;
+  std::vector<vertex_id> labels;
+  bool dirty = true;
+  size_t checked = 0;
+  size_t mismatches = 0;
+
+  void on_update(std::span<const edge> es, bool insert) {
+    if (!insert && !track_deletes) return;
+    for (const edge& raw : es) {
+      edge c = raw.canonical();
+      if (c.is_self_loop() || c.v >= n) continue;
+      if (insert)
+        edges.insert(edge_key(c));
+      else
+        edges.erase(edge_key(c));
+    }
+    dirty = true;
+  }
+
+  void on_query(std::span<const std::pair<vertex_id, vertex_id>> qs,
+                const std::vector<bool>& ans) {
+    if (dirty) {
+      labels = oracle_labels(n, edges);
+      dirty = false;
+    }
+    for (size_t i = 0; i < qs.size(); ++i) {
+      auto [u, v] = qs[i];
+      bool expect = u < n && v < n && labels[u] == labels[v];
+      checked++;
+      if (expect != static_cast<bool>(ans[i]) && mismatches++ < 5) {
+        std::fprintf(stderr,
+                     "check MISMATCH: (%u,%u): got %d, oracle %d\n", u, v,
+                     static_cast<int>(ans[i]), static_cast<int>(expect));
+      }
+    }
+  }
+};
+
 struct replay_report {
   double insert_sec = 0, delete_sec = 0, query_sec = 0;
   size_t inserted = 0, deleted = 0, queried = 0, connected_answers = 0;
 };
 
 template <typename Structure>
-replay_report replay(Structure& s, const update_stream& stream) {
+replay_report replay(Structure& s, const update_stream& stream,
+                     oracle_checker* check = nullptr) {
   replay_report r;
   timer t;
   for (const auto& b : stream) {
@@ -142,12 +242,14 @@ replay_report replay(Structure& s, const update_stream& stream) {
         s.batch_insert(b.edges);
         r.insert_sec += t.elapsed();
         r.inserted += b.edges.size();
+        if (check) check->on_update(b.edges, /*insert=*/true);
         break;
       case update_batch::kind::erase:
         t.reset();
         s.batch_delete(b.edges);
         r.delete_sec += t.elapsed();
         r.deleted += b.edges.size();
+        if (check) check->on_update(b.edges, /*insert=*/false);
         break;
       case update_batch::kind::query: {
         t.reset();
@@ -155,6 +257,7 @@ replay_report replay(Structure& s, const update_stream& stream) {
         r.query_sec += t.elapsed();
         r.queried += b.queries.size();
         for (bool a : ans) r.connected_answers += a;
+        if (check) check->on_query(b.queries, ans);
         break;
       }
     }
@@ -188,24 +291,6 @@ struct serve_result {
   size_t checked = 0;      // recorded answers differential-checked
   size_t mismatches = 0;
 };
-
-/// Min-vertex component labels of the canonical edge set (the oracle).
-std::vector<vertex_id> oracle_labels(
-    vertex_id n, const std::unordered_set<uint64_t>& edges) {
-  union_find uf(n);
-  for (uint64_t key : edges) {
-    edge e = edge_from_key(key);
-    uf.unite(e.u, e.v);
-  }
-  std::vector<vertex_id> mins(n, kNoVertex);
-  std::vector<vertex_id> labels(n);
-  for (vertex_id v = 0; v < n; ++v) {
-    uint32_t r = uf.find(v);
-    if (mins[r] == kNoVertex) mins[r] = v;  // ascending v: first is min
-  }
-  for (vertex_id v = 0; v < n; ++v) labels[v] = mins[uf.find(v)];
-  return labels;
-}
 
 serve_result serve_replay(batch_dynamic_connectivity& s, vertex_id n,
                           const update_stream& stream, unsigned readers) {
@@ -404,33 +489,58 @@ void print_statistics(const hdt_connectivity::statistics& st) {
       st.levels_searched, st.edges_pushed, st.replacements_promoted);
 }
 
-/// Drops stream entries with a vertex id outside [0, n) for the thin
-/// baseline structures, which index per-vertex arrays without validation.
-/// Returns the number of dropped entries (edges or queries).
-size_t filter_out_of_range(vertex_id n, update_stream& stream) {
-  size_t dropped = 0;
-  for (auto& b : stream) {
-    size_t before = b.edges.size() + b.queries.size();
-    std::erase_if(b.edges,
-                  [n](const edge& e) { return e.u >= n || e.v >= n; });
-    std::erase_if(b.queries, [n](const std::pair<vertex_id, vertex_id>& q) {
-      return q.first >= n || q.second >= n;
-    });
-    dropped += before - (b.edges.size() + b.queries.size());
-  }
-  return dropped;
+void print_router_statistics(const router_statistics& st) {
+  double hit_pct =
+      st.cache_lookups > 0
+          ? 100.0 * static_cast<double>(st.cache_hits) /
+                static_cast<double>(st.cache_lookups)
+          : 0.0;
+  std::printf(
+      "  router: batches uf/dyn %" PRIu64 "/%" PRIu64
+      " | phase switches %" PRIu64 " | no-op delete batches dropped %" PRIu64
+      "\n"
+      "          promotions %" PRIu64 " (%" PRIu64
+      " edges bulk-loaded, %.2f ms one-shot)\n"
+      "          cache: %" PRIu64 "/%" PRIu64 " endpoint hits (%.1f%%), %"
+      PRIu64 " invalidations\n",
+      st.batches_on_unionfind, st.batches_on_dynamic, st.phase_switches,
+      st.dropped_delete_batches, st.promotions, st.promotion_edges,
+      static_cast<double>(st.promotion_micros) / 1e3, st.cache_hits,
+      st.cache_lookups, hit_pct, st.cache_invalidations);
 }
 
-int run_structure(const std::string& which, vertex_id n,
-                  const update_stream& stream, substrate sub,
-                  level_policy policy, dispatch disp,
-                  unsigned serve_threads, publish_mode pub) {
-  if (which == "dynamic" || which == "dynamic-simple" ||
-      which == "dynamic-scanall") {
+/// Prints the --check verdict; returns 1 on any mismatch.
+int finish_check(const oracle_checker* chk) {
+  if (chk == nullptr) return 0;
+  std::printf("  check: %zu answers differential-checked, %zu mismatches%s\n",
+              chk->checked, chk->mismatches,
+              chk->mismatches == 0 ? " (OK)" : "");
+  if (chk->mismatches != 0) {
+    std::fprintf(stderr, "oracle differential check FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run_structure(engine_kind eng, vertex_id n, const update_stream& stream,
+                  substrate sub, level_policy policy, dispatch disp,
+                  unsigned serve_threads, publish_mode pub, bool check) {
+  oracle_checker chk;
+  chk.n = n;
+  chk.track_deletes = eng != engine_kind::incremental;
+  oracle_checker* cp = check ? &chk : nullptr;
+
+  if (eng == engine_kind::dynamic || eng == engine_kind::dynamic_simple ||
+      eng == engine_kind::dynamic_scanall) {
+    const char* which = eng == engine_kind::dynamic ? "dynamic"
+                        : eng == engine_kind::dynamic_simple
+                            ? "dynamic-simple"
+                            : "dynamic-scanall";
     options o;
-    o.search = which == "dynamic" ? level_search_kind::interleaved
-               : which == "dynamic-simple" ? level_search_kind::simple
-                                           : level_search_kind::scan_all;
+    o.search = eng == engine_kind::dynamic ? level_search_kind::interleaved
+               : eng == engine_kind::dynamic_simple
+                   ? level_search_kind::simple
+                   : level_search_kind::scan_all;
     o.substrate = sub;
     o.policy = policy;
     o.dispatch = disp;
@@ -439,7 +549,7 @@ int run_structure(const std::string& which, vertex_id n,
     batch_dynamic_connectivity s(n, o);
     // config_label applies the library's policy normalization, so a
     // --policy naming the primary substrate reads as uniform here.
-    std::string label = which + "/" + config_label(o);
+    std::string label = std::string(which) + "/" + config_label(o);
     if (serve_threads > 0) {
       auto sr = serve_replay(s, n, stream, serve_threads);
       print_report(label.c_str(), sr.rep);
@@ -453,40 +563,46 @@ int run_structure(const std::string& which, vertex_id n,
         return 1;
       }
     } else {
-      print_report(label.c_str(), replay(s, stream));
+      print_report(label.c_str(), replay(s, stream, cp));
     }
     print_statistics(s.stats());
     print_pool_report(s);
-  } else if (which == "hdt" || which == "static" ||
-             which == "incremental") {
-    if (serve_threads > 0)
-      std::fprintf(stderr,
-                   "warning: --serve-queries applies only to the dynamic "
-                   "structures; ignoring for '%s'\n",
-                   which.c_str());
-    update_stream safe = stream;
-    if (size_t dropped = filter_out_of_range(n, safe); dropped > 0) {
-      std::fprintf(stderr,
-                   "warning: dropped %zu stream entries with vertex ids >= "
-                   "%u (the %s baseline does not validate ids)\n",
-                   dropped, n, which.c_str());
-    }
-    if (which == "hdt") {
-      hdt_connectivity s(n);
-      print_report("hdt", replay(s, safe));
-      print_statistics(s.stats());
-    } else if (which == "static") {
-      static_recompute_connectivity s(n);
-      print_report("static", replay(s, safe));
-    } else {
-      incremental_adapter s(n);
-      print_report("incremental", replay(s, safe));
-    }
-  } else {
-    std::fprintf(stderr, "unknown structure '%s'\n", which.c_str());
-    return 2;
+    return finish_check(cp);
   }
-  return 0;
+
+  if (serve_threads > 0) {
+    std::fprintf(stderr,
+                 "warning: --serve-queries applies only to the dynamic "
+                 "structures; ignoring\n");
+  }
+  if (eng == engine_kind::auto_router) {
+    router_options ro;
+    ro.dynamic_opts.substrate = sub;
+    ro.dynamic_opts.policy = policy;
+    ro.dynamic_opts.dispatch = disp;
+    engine_router s(n, ro);
+    std::string label = "auto/" + config_label(ro.dynamic_opts);
+    print_report(label.c_str(), replay(s, stream, cp));
+    print_router_statistics(s.stats());
+    if (const batch_dynamic_connectivity* d = s.dynamic_engine())
+      print_statistics(d->stats());
+    return finish_check(cp);
+  }
+  if (eng == engine_kind::hdt) {
+    hdt_connectivity s(n);
+    print_report("hdt", replay(s, stream, cp));
+    print_statistics(s.stats());
+    return finish_check(cp);
+  }
+  if (eng == engine_kind::static_recompute) {
+    static_recompute_connectivity s(n);
+    print_report("static", replay(s, stream, cp));
+    std::printf("  stats: %" PRIu64 " full recomputes\n", s.recomputes());
+    return finish_check(cp);
+  }
+  incremental_adapter s(n);
+  print_report("incremental", replay(s, stream, cp));
+  return finish_check(cp);
 }
 
 int self_demo(unsigned serve_threads, publish_mode pub) {
@@ -503,19 +619,25 @@ int self_demo(unsigned serve_threads, publish_mode pub) {
   // exercise the snapshot path, the blocked pass the live seqlock probe.
   for (substrate sub :
        {substrate::skiplist, substrate::treap, substrate::blocked}) {
-    if (int rc = run_structure("dynamic", n, stream, sub, {},
-                               dispatch::static_variant, serve_threads, pub);
+    if (int rc = run_structure(engine_kind::dynamic, n, stream, sub, {},
+                               dispatch::static_variant, serve_threads, pub,
+                               /*check=*/false);
         rc != 0)
       return rc;
   }
-  if (int rc = run_structure("dynamic", n, stream, substrate::skiplist,
+  if (int rc = run_structure(engine_kind::dynamic, n, stream,
+                             substrate::skiplist,
                              level_policy{8, substrate::blocked},
-                             dispatch::static_variant, serve_threads, pub);
+                             dispatch::static_variant, serve_threads, pub,
+                             /*check=*/false);
       rc != 0)
     return rc;
-  for (const char* s : {"dynamic-simple", "hdt", "static"}) {
-    if (int rc = run_structure(s, n, stream, substrate::skiplist, {},
-                               dispatch::static_variant, 0, pub);
+  for (engine_kind eng :
+       {engine_kind::dynamic_simple, engine_kind::hdt,
+        engine_kind::static_recompute, engine_kind::auto_router}) {
+    if (int rc = run_structure(eng, n, stream, substrate::skiplist, {},
+                               dispatch::static_variant, 0, pub,
+                               /*check=*/false);
         rc != 0)
       return rc;
   }
@@ -525,13 +647,15 @@ int self_demo(unsigned serve_threads, publish_mode pub) {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage:\n"
-               "  %s gen <erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
-               "  %s run [--substrate=skiplist|treap|blocked] "
+               "  %s gen [--stream=deletion|mixed|window] "
+               "<erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
+               "  %s run [--engine=auto|dynamic|dynamic-simple|"
+               "dynamic-scanall|hdt|static|incremental] "
+               "[--substrate=skiplist|treap|blocked] "
                "[--policy=<substrate>:<threshold>] "
                "[--dispatch=static|virtual] [--workers=N] "
                "[--serve-queries=T] [--publish=incremental|full] "
-               "<dynamic|dynamic-simple|dynamic-scanall|hdt|"
-               "static|incremental> <stream-file>\n"
+               "[--check] <stream-file>\n"
                "  %s                (self-demo; flags apply)\n",
                prog, prog, prog);
   return 2;
@@ -543,15 +667,25 @@ int main(int argc, char** argv) {
   if (argc == 1) return self_demo(0, publish_mode::incremental);
 
   // Flags may appear anywhere; everything else is positional.
+  engine_kind eng = engine_kind::dynamic;
   substrate sub = substrate::skiplist;
   level_policy policy;
   dispatch disp = dispatch::static_variant;
   unsigned serve_threads = 0;
   publish_mode pub = publish_mode::incremental;
+  bool check = false;
+  std::string stream_kind = "deletion";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--substrate=", 0) == 0) {
+    if (a.rfind("--engine=", 0) == 0) {
+      auto parsed = engine_from_string(a.substr(9));
+      if (!parsed) {
+        std::fprintf(stderr, "unknown engine '%s'\n", a.c_str() + 9);
+        return 2;
+      }
+      eng = *parsed;
+    } else if (a.rfind("--substrate=", 0) == 0) {
       auto parsed = substrate_from_string(a.substr(12));
       if (!parsed) {
         std::fprintf(stderr, "unknown substrate '%s'\n", a.c_str() + 12);
@@ -624,6 +758,17 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 2;
       }
+    } else if (a.rfind("--stream=", 0) == 0) {
+      stream_kind = a.substr(9);
+      if (stream_kind != "deletion" && stream_kind != "mixed" &&
+          stream_kind != "window") {
+        std::fprintf(stderr,
+                     "bad --stream value '%s' (want deletion|mixed|window)\n",
+                     stream_kind.c_str());
+        return 2;
+      }
+    } else if (a == "--check") {
+      check = true;
     } else if (a.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -653,22 +798,33 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
       return 2;
     }
-    auto stream =
-        make_deletion_stream(graph, n, batch, batch, batch / 4, seed + 1);
+    update_stream stream;
+    if (stream_kind == "mixed") {
+      stream = make_phase_skewed_stream(graph, n, batch,
+                                        /*flood_batches=*/8,
+                                        /*flood_queries=*/4 * batch,
+                                        seed + 1);
+    } else if (stream_kind == "window") {
+      stream = make_sliding_window_stream(graph, std::max<size_t>(1, m / 2),
+                                          batch, seed + 1);
+    } else {
+      stream =
+          make_deletion_stream(graph, n, batch, batch, batch / 4, seed + 1);
+    }
     write_stream(args[6], n, stream);
     std::printf("wrote %zu batches over %u vertices to %s\n", stream.size(),
                 n, args[6].c_str());
     return 0;
   }
-  if (cmd == "run" && args.size() == 3) {
+  if (cmd == "run" && args.size() == 2) {
     vertex_id n = 0;
     update_stream stream;
-    if (!read_stream(args[2], n, stream)) {
-      std::fprintf(stderr, "cannot read stream file '%s'\n", args[2].c_str());
+    if (!read_stream(args[1], n, stream)) {
+      std::fprintf(stderr, "cannot read stream file '%s'\n", args[1].c_str());
       return 2;
     }
-    return run_structure(args[1], n, stream, sub, policy, disp,
-                         serve_threads, pub);
+    return run_structure(eng, n, stream, sub, policy, disp, serve_threads,
+                         pub, check);
   }
   return usage(argv[0]);
 }
