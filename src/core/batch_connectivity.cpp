@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
 #include "sequence/parallel_sort.hpp"
@@ -111,18 +112,33 @@ batch_dynamic_connectivity::update_scope::~update_scope() {
   // snapshot.
   owner_.publish_snapshot(/*force_full=*/false);
   s.phase.fetch_add(1, std::memory_order_release);  // -> even
-  // Epoch turnover: everything retired during this batch is stamped with
-  // the pre-advance epoch, so after the advance a NEW reader can never
-  // reach it, and the drains below free whatever no OLD reader pins.
-  // Draining after the advance is also what makes the overflow-pin path
-  // sound (see epoch_manager::pin).
-  s.epochs.advance();
-  s.epochs.end_write();  // drain_limbo asserts mutation quiescence
-  s.epochs.drain();
-  owner_.top_forest_->drain_limbo();
+  {
+    BDC_PHASE_SPAN(sp, "epoch.drain");
+    // Epoch turnover: everything retired during this batch is stamped with
+    // the pre-advance epoch, so after the advance a NEW reader can never
+    // reach it, and the drains below free whatever no OLD reader pins.
+    // Draining after the advance is also what makes the overflow-pin path
+    // sound (see epoch_manager::pin).
+    s.epochs.advance();
+    s.epochs.end_write();  // drain_limbo asserts mutation quiescence
+    s.epochs.drain();
+    owner_.top_forest_->drain_limbo();
+  }
+#if BDC_TELEMETRY_ENABLED
+  // Retention gauges: sampled once per batch, after the drains, so they
+  // report what actually survives the batch (limbo that readers pin and
+  // blocks the pool keeps).
+  static obs::gauge& limbo_g =
+      obs::metric_registry::global().get_gauge("epoch.limbo");
+  static obs::gauge& blocks_g =
+      obs::metric_registry::global().get_gauge("pool.retained_blocks");
+  limbo_g.set(static_cast<int64_t>(s.epochs.limbo_size()));
+  blocks_g.set(static_cast<int64_t>(owner_.pool_stats().blocks));
+#endif
 }
 
 void batch_dynamic_connectivity::publish_snapshot(bool force_full) {
+  BDC_PHASE_SPAN(span_publish, "publish.snapshot");
   timer t;
   // Batch k runs with phase 2k-1 (odd); construction publishes at phase 0.
   const uint64_t version =
@@ -326,6 +342,7 @@ bool batch_dynamic_connectivity::connected(vertex_id u, vertex_id v) const {
 
 std::vector<bool> batch_dynamic_connectivity::batch_connected(
     std::span<const std::pair<vertex_id, vertex_id>> queries) const {
+  BDC_PHASE_SPAN(span_batch, "batch.connected");
   const vertex_id n = num_vertices();
   // n == 0 has no in-range probe to remap hostile queries onto (every id
   // is out of range), so answer directly.
@@ -387,12 +404,19 @@ std::vector<vertex_id> batch_dynamic_connectivity::components() const {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
+  // Declared before update_scope: destruction runs in reverse, so the
+  // span also covers the scope destructor's publish + epoch drain.
+  BDC_PHASE_SPAN(span_batch, "batch.insert");
   // Covers the whole batch including early returns, so every call commits
   // exactly one serving state (version parity stays in lockstep with the
   // caller's batch count).
   update_scope scope(*this);
-  std::vector<edge> clean = sanitize(edges, num_vertices());
-  clean = filter(clean, [&](const edge& e) { return !has_edge(e); });
+  std::vector<edge> clean;
+  {
+    BDC_PHASE_SPAN(sp, "insert.sanitize");
+    clean = sanitize(edges, num_vertices());
+    clean = filter(clean, [&](const edge& e) { return !has_edge(e); });
+  }
   size_t k = clean.size();
   stats_.batches_inserted++;
   stats_.edges_inserted += k;
@@ -441,9 +465,14 @@ void batch_dynamic_connectivity::batch_insert(std::span<const edge> edges) {
 // ---------------------------------------------------------------------
 
 void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
-  update_scope scope(*this);  // see batch_insert
-  std::vector<edge> clean = sanitize(edges, num_vertices());
-  clean = filter(clean, [&](const edge& e) { return has_edge(e); });
+  BDC_PHASE_SPAN(span_batch, "batch.delete");  // see batch_insert
+  update_scope scope(*this);
+  std::vector<edge> clean;
+  {
+    BDC_PHASE_SPAN(sp, "delete.sanitize");
+    clean = sanitize(edges, num_vertices());
+    clean = filter(clean, [&](const edge& e) { return has_edge(e); });
+  }
   size_t k = clean.size();
   stats_.batches_deleted++;
   stats_.edges_deleted += k;
@@ -452,6 +481,7 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
   // Capture tree edges and their levels before deregistration.
   std::vector<std::pair<int, edge>> tree_edges;  // (level, edge)
   {
+    BDC_PHASE_SPAN(sp, "delete.deregister");
     std::vector<std::pair<int, edge>> all(k);
     parallel_for(0, k, [&](size_t i) {
       const edge_record* rec = ls_.record_of(clean[i]);
@@ -466,8 +496,11 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
   // endpoints seed the incremental snapshot publish (one per split half).
   for (const auto& [lvl, e] : tree_edges) note_touched(e);
 
-  // Deregister all deleted edges (adjacency, counters, dictionary).
-  ls_.remove_edges(clean);
+  {
+    BDC_PHASE_SPAN(sp, "delete.deregister");
+    // Deregister all deleted edges (adjacency, counters, dictionary).
+    ls_.remove_edges(clean);
+  }
 
   if (tree_edges.empty()) return;  // connectivity unchanged
 
@@ -476,13 +509,17 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
   int top = ls_.top();
   int minl = top;
   for (auto& [lvl, e] : tree_edges) minl = std::min(minl, lvl);
-  for (int i = minl; i <= top; ++i) {
-    auto subset = filter(tree_edges, [&](const std::pair<int, edge>& p) {
-      return p.first <= i;
-    });
-    std::vector<edge> es(subset.size());
-    parallel_for(0, es.size(), [&](size_t j) { es[j] = subset[j].second; });
-    ls_.forest(i).batch_cut(es);
+  {
+    BDC_PHASE_SPAN(sp, "delete.cut");
+    for (int i = minl; i <= top; ++i) {
+      auto subset = filter(tree_edges, [&](const std::pair<int, edge>& p) {
+        return p.first <= i;
+      });
+      std::vector<edge> es(subset.size());
+      parallel_for(0, es.size(),
+                   [&](size_t j) { es[j] = subset[j].second; });
+      ls_.forest(i).batch_cut(es);
+    }
   }
 
   // Seeds: endpoints of deleted tree edges, introduced at the level where
@@ -502,6 +539,7 @@ void batch_dynamic_connectivity::batch_delete(std::span<const edge> edges) {
     carried.insert(carried.end(), sl.begin(), sl.end());
     sort_unique(carried);
     stats_.levels_searched++;
+    BDC_PHASE_SPAN(sp, "delete.level_search");  // one span per level
     switch (opts_.search) {
       case level_search_kind::interleaved:
         level_search_interleaved(i, carried, buffered);
@@ -624,6 +662,7 @@ void batch_dynamic_connectivity::level_search_simple(
     };
     std::vector<outcome> res(m);
     uint32_t w = 0;
+    BDC_PHASE_SPAN(span_search, "search.replacement");
     while (true) {
       std::atomic<bool> any_searching{false};
       stats_.doubling_phases++;
@@ -774,6 +813,7 @@ void batch_dynamic_connectivity::level_search_interleaved(
   uint32_t r = 0;
   bool any_active = !active_list.empty();
   while (any_active) {
+    BDC_PHASE_SPAN(span_search, "search.replacement");
     stats_.search_rounds++;
     stats_.doubling_phases++;
     uint64_t sz = r < 62 ? (uint64_t{1} << r) : ~uint64_t{0} >> 1;

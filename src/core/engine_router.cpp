@@ -1,5 +1,6 @@
 #include "core/engine_router.hpp"
 
+#include "obs/telemetry.hpp"
 #include "parallel/scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -24,9 +25,14 @@ void engine_router::note_phase(op_kind k) const {
 void engine_router::invalidate_cache() const {
   ++cache_epoch_;
   stats_.cache_invalidations++;
+  // Memo epoch bump: one instant per update batch on the trace timeline,
+  // so cache-hit droughts line up visibly with the batches causing them.
+  obs::trace_instant("router.memo_invalidate");
 }
 
 void engine_router::promote() {
+  BDC_PHASE_SPAN(span_promote, "router.promote");
+  obs::trace_instant("router.promote");  // marks the one-shot hand-off
   timer t;
   std::vector<edge> accumulated = inc_.edge_list();
   dynamic_ =

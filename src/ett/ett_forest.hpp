@@ -43,6 +43,7 @@
 #include "ett/ett_substrate.hpp"
 #include "ett/euler_tour_tree.hpp"
 #include "ett/treap_ett.hpp"
+#include "obs/telemetry.hpp"
 #include "util/node_pool.hpp"
 #include "util/types.hpp"
 
@@ -108,13 +109,23 @@ class ett_forest {
     return visit([](auto& f) { return f.num_edges(); });
   }
 
+  // The three mutating batch ops carry phase spans: instrumenting the
+  // forwarder covers all three substrates at once, and the empty-batch
+  // guard keeps the no-op calls that pepper the level loop out of the
+  // histograms (a span on a 0-edge batch is pure noise).
   void batch_link(std::span<const edge> links) {
+    if (links.empty()) return;
+    BDC_PHASE_SPAN(sp, "ett.batch_link");
     visit([&](auto& f) { f.batch_link(links); });
   }
   void batch_cut(std::span<const edge> cuts) {
+    if (cuts.empty()) return;
+    BDC_PHASE_SPAN(sp, "ett.batch_cut");
     visit([&](auto& f) { f.batch_cut(cuts); });
   }
   void batch_add_counts(std::span<const count_delta> deltas) {
+    if (deltas.empty()) return;
+    BDC_PHASE_SPAN(sp, "ett.batch_add_counts");
     visit([&](auto& f) { f.batch_add_counts(deltas); });
   }
   void link(edge e) { batch_link({&e, 1}); }

@@ -1,0 +1,255 @@
+#include "obs/exporters.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdlib>
+
+namespace bdc::obs {
+namespace {
+
+[[nodiscard]] std::string_view group_of(std::string_view name) {
+  const size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+void export_text(std::FILE* out, const metrics_snapshot& snap) {
+  metrics_snapshot sorted = snap;
+  sorted.sort();
+  std::string_view group;
+  size_t in_group = 0;
+  for (const metric_row& r : sorted.rows) {
+    const std::string_view g = group_of(r.name);
+    if (g != group) {
+      if (!group.empty()) std::fputc('\n', out);
+      std::fprintf(out, "  %.*s:", static_cast<int>(g.size()), g.data());
+      group = g;
+      in_group = 0;
+    }
+    const std::string_view rest =
+        r.name.size() > g.size() ? std::string_view(r.name).substr(g.size() + 1)
+                                 : std::string_view("value");
+    // Four metrics per line keeps the report compact without a pager.
+    if (in_group > 0 && in_group % 4 == 0)
+      std::fprintf(out, "\n%*s", static_cast<int>(g.size()) + 3, "");
+    ++in_group;
+    switch (r.kind) {
+      case metric_kind::counter:
+        std::fprintf(out, " %.*s %" PRIu64 " |",
+                     static_cast<int>(rest.size()), rest.data(),
+                     static_cast<uint64_t>(r.value));
+        break;
+      case metric_kind::gauge:
+        std::fprintf(out, " %.*s %" PRId64 " |",
+                     static_cast<int>(rest.size()), rest.data(), r.value);
+        break;
+      case metric_kind::histogram:
+        std::fprintf(out, " %.*s n=%" PRIu64 " mean=%.1f sum=%" PRIu64 " |",
+                     static_cast<int>(rest.size()), rest.data(), r.count,
+                     r.mean(), r.sum);
+        break;
+    }
+  }
+  if (!sorted.rows.empty()) std::fputc('\n', out);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void export_jsonl(std::ostream& out, const metrics_snapshot& snap,
+                  std::string_view label) {
+  const std::string esc_label = json_escape(label);
+  for (const metric_row& r : snap.rows) {
+    out << "{\"label\":\"" << esc_label << "\",\"metric\":\""
+        << json_escape(r.name) << "\",\"kind\":\"" << to_string(r.kind)
+        << "\"";
+    if (r.kind == metric_kind::histogram) {
+      out << ",\"count\":" << r.count << ",\"sum\":" << r.sum
+          << ",\"buckets\":[";
+      for (size_t b = 0; b < r.buckets.size(); ++b) {
+        if (b > 0) out << ',';
+        out << r.buckets[b];
+      }
+      out << ']';
+    } else {
+      out << ",\"value\":" << r.value;
+    }
+    out << "}\n";
+  }
+}
+
+namespace {
+
+// Minimal scanner for the fixed export_jsonl schema. Returns false when
+// the expected token is absent.
+struct line_scanner {
+  std::string_view s;
+  size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+  }
+  bool lit(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            const unsigned v = static_cast<unsigned>(
+                std::strtoul(std::string(s.substr(i + 1, 4)).c_str(),
+                             nullptr, 16));
+            out += static_cast<char>(v);
+            i += 4;
+            break;
+          }
+          default: out += s[i]; break;
+        }
+      } else {
+        out += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+  bool integer(int64_t& out) {
+    skip_ws();
+    const size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i == start) return false;
+    out = std::strtoll(std::string(s.substr(start, i - start)).c_str(),
+                       nullptr, 10);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<jsonl_record> parse_jsonl(std::istream& in) {
+  std::vector<jsonl_record> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    line_scanner sc{line};
+    if (!sc.lit('{')) continue;
+    jsonl_record rec;
+    bool ok = true, have_metric = false;
+    bool first = true;
+    while (ok) {
+      if (!first && !sc.lit(',')) break;
+      first = false;
+      std::string key;
+      if (!sc.string(key) || !sc.lit(':')) {
+        ok = false;
+        break;
+      }
+      if (key == "label") {
+        ok = sc.string(rec.label);
+      } else if (key == "metric") {
+        ok = sc.string(rec.row.name);
+        have_metric = ok;
+      } else if (key == "kind") {
+        std::string kind;
+        ok = sc.string(kind);
+        if (kind == "gauge")
+          rec.row.kind = metric_kind::gauge;
+        else if (kind == "histogram")
+          rec.row.kind = metric_kind::histogram;
+        else
+          rec.row.kind = metric_kind::counter;
+      } else if (key == "value") {
+        ok = sc.integer(rec.row.value);
+      } else if (key == "count") {
+        int64_t v = 0;
+        ok = sc.integer(v);
+        rec.row.count = static_cast<uint64_t>(v);
+        rec.row.value = v;
+      } else if (key == "sum") {
+        int64_t v = 0;
+        ok = sc.integer(v);
+        rec.row.sum = static_cast<uint64_t>(v);
+      } else if (key == "buckets") {
+        ok = sc.lit('[');
+        if (ok && !sc.lit(']')) {
+          do {
+            int64_t v = 0;
+            if (!sc.integer(v)) {
+              ok = false;
+              break;
+            }
+            rec.row.buckets.push_back(static_cast<uint64_t>(v));
+          } while (sc.lit(','));
+          if (ok) ok = sc.lit(']');
+        }
+      } else {
+        ok = false;  // unknown key: not our schema
+      }
+    }
+    if (ok && have_metric && sc.lit('}')) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void export_chrome_trace(std::ostream& out,
+                         const std::vector<trace_event>& events,
+                         uint64_t dropped) {
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << dropped << "},\"traceEvents\":[";
+  bool first = true;
+  for (const trace_event& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!first) out << ',';
+    first = false;
+    // Chrome's ts/dur are microseconds (fractions allowed).
+    out << "\n{\"name\":\"" << json_escape(ev.name)
+        << "\",\"ph\":\"" << ev.ph << "\",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"ts\":" << static_cast<double>(ev.ts_ns) / 1e3;
+    if (ev.ph == 'X')
+      out << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+    if (ev.ph == 'i') out << ",\"s\":\"t\"";
+    out << ",\"cat\":\"bdc\"}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace bdc::obs

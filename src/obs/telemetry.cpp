@@ -1,0 +1,163 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+
+namespace bdc::obs {
+
+const char* to_string(metric_kind k) {
+  switch (k) {
+    case metric_kind::counter: return "counter";
+    case metric_kind::gauge: return "gauge";
+    case metric_kind::histogram: return "histogram";
+  }
+  return "counter";
+}
+
+void metrics_snapshot::sort() {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const metric_row& a, const metric_row& b) {
+                     return a.name < b.name;
+                   });
+}
+
+const metric_row* metrics_snapshot::find(std::string_view name) const {
+  for (const metric_row& r : rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+counter& metric_registry::get_counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<counter>())
+             .first;
+  return *it->second;
+}
+
+gauge& metric_registry::get_gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<gauge>()).first;
+  return *it->second;
+}
+
+histogram& metric_registry::get_histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<histogram>())
+             .first;
+  return *it->second;
+}
+
+histogram& metric_registry::span_histogram(std::string_view name) {
+  std::string full = "span.";
+  full.append(name);
+  full += ".us";
+  return get_histogram(full);
+}
+
+metrics_snapshot metric_registry::snapshot() const {
+  metrics_snapshot out;
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_)
+    out.add_counter(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    out.add_gauge(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    metric_row row;
+    row.name = name;
+    row.kind = metric_kind::histogram;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.value = static_cast<int64_t>(row.count);
+    row.buckets = h->buckets();
+    out.rows.push_back(std::move(row));
+  }
+  out.sort();
+  return out;
+}
+
+void metric_registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+metric_registry& metric_registry::global() {
+  // Leaked on purpose: instrumentation sites cache references in
+  // function-local statics, so destruction order at exit must never
+  // invalidate them.
+  static metric_registry* r = new metric_registry();
+  return *r;
+}
+
+uint32_t trace_thread_id() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void trace_recorder::enable(size_t capacity_per_shard) {
+  for (shard& s : shards_) {
+    s.buf.resize(capacity_per_shard);
+    s.n.store(0, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void trace_recorder::disable() {
+  active_.store(false, std::memory_order_release);
+}
+
+void trace_recorder::record(const trace_event& ev) {
+  if (!active()) return;
+  shard& s = shards_[metric_shard_index()];
+  const size_t i = s.n.fetch_add(1, std::memory_order_relaxed);
+  if (i < s.buf.size())
+    s.buf[i] = ev;
+  else
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void trace_recorder::instant(const char* name) {
+  if (!active()) return;
+  trace_event ev;
+  ev.name = name;
+  ev.ts_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  ev.dur_ns = 0;
+  ev.tid = trace_thread_id();
+  ev.ph = 'i';
+  record(ev);
+}
+
+std::vector<trace_event> trace_recorder::drain() {
+  std::vector<trace_event> out;
+  for (shard& s : shards_) {
+    const size_t n = std::min(s.n.load(std::memory_order_relaxed),
+                              s.buf.size());
+    out.insert(out.end(), s.buf.begin(),
+               s.buf.begin() + static_cast<ptrdiff_t>(n));
+    s.n.store(0, std::memory_order_relaxed);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const trace_event& a, const trace_event& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+trace_recorder& trace_recorder::global() {
+  static trace_recorder* r = new trace_recorder();  // leaked, same as above
+  return *r;
+}
+
+}  // namespace bdc::obs

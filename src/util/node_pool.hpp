@@ -198,10 +198,30 @@ class node_pool {
     return drained;
   }
 
-  /// Aggregated counters. Safe to call at any time — the per-node
-  /// counters are relaxed atomics, so a snapshot taken while readers are
-  /// pinned (or even mid-batch) is data-race-free, though mid-batch
-  /// values are only approximate.
+  /// Aggregated counters. Consistency contract, field by field:
+  ///
+  ///   * POINT-IN-TIME, NOT ATOMIC. Each field is read independently
+  ///     (per-worker relaxed atomics summed, plus one mutex-guarded read
+  ///     of the block lists), so the snapshot as a whole is NOT a
+  ///     consistent cut: a concurrent allocate can land between reading
+  ///     `fresh` and `freed`, making derived values like outstanding()
+  ///     transiently off by the in-flight amount. No field is ever torn
+  ///     and no read races (TSan-clean) — the snapshot is approximate,
+  ///     never corrupt.
+  ///   * Monotone fields (fresh, recycled, freed, trimmed_bytes,
+  ///     dead_block_trims) never decrease; a mid-batch snapshot is a
+  ///     valid lower bound for each of them individually.
+  ///   * EXACT when no allocation/free/trim is concurrently in flight —
+  ///     e.g. between update batches, which is when stream_runner and the
+  ///     telemetry collectors sample it. Pinned readers do not perturb it
+  ///     (readers never allocate).
+  ///
+  /// Deliberately requires NO writer quiescence and must stay that way:
+  /// it is the monitoring probe for live systems. Only the operations
+  /// that MOVE memory (trim(), trim_partial(), drain_limbo() below)
+  /// assert !writers_active(), because they would free nodes a
+  /// concurrent mutator could still touch — observation never needs the
+  /// stronger precondition.
   [[nodiscard]] stats_snapshot stats() const {
     stats_snapshot s;
     auto add = [&](const worker_state& ws) {

@@ -18,6 +18,17 @@ Two modes:
       tools/bench_diff.py NEW.json --history DIR [--median-of N]
                           [--threshold PCT] [--no-fail]
 
+Either mode also accepts ``--counters``: the artifacts are then the
+JSON-lines metric snapshots written by ``stream_runner --metrics=FILE``
+(one ``{"label":...,"metric":...}`` object per line) instead of Google
+Benchmark JSON. Counter diffs are ALWAYS advisory (exit 0): pipeline
+counters like publishes_full or cache hits are workload truth, not
+timing noise, so a change beyond the threshold in EITHER direction is
+flagged ``CHANGED`` for a human to read — a dropped cache-hit count and
+a doubled full-walk count both deserve eyes, but neither should gate a
+merge on its own. Keyed by ``label/metric``; histograms compare their
+``count``.
+
 History files are consumed in sorted-name order (CI names them by run
 number, so sorted order is chronological); only the last ``--median-of``
 (default 5) contribute to the median. Exit status is 0 when clean, 1 on
@@ -51,7 +62,54 @@ def load_benchmarks(path):
     return out
 
 
-def load_history_median(history_dir, median_of):
+def load_counters(path):
+    """Maps "label/metric" -> value for one stream_runner JSONL snapshot.
+
+    Counters and gauges contribute their value; histograms contribute
+    their count (how often the phase ran — its duration is timing, which
+    the benchmark series already tracks).
+    """
+    out = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            metric = rec.get("metric")
+            if not isinstance(metric, str):
+                continue
+            key = f"{rec.get('label', '')}/{metric}"
+            value = (rec.get("count") if rec.get("kind") == "histogram"
+                     else rec.get("value"))
+            if isinstance(value, (int, float)):
+                out[key] = float(value)
+    return out
+
+
+def diff_counters(old, new, threshold):
+    """Direction-agnostic: returns (common, changed) where changed is
+    [(key, old, new, pct)] for moves beyond the threshold either way.
+    A counter moving off or onto zero is always a change worth seeing.
+    """
+    common = sorted(set(old) & set(new))
+    changed = []
+    for key in common:
+        if old[key] == 0 and new[key] == 0:
+            continue
+        if old[key] == 0 or new[key] == 0:
+            changed.append((key, old[key], new[key], float("inf")))
+            continue
+        pct = 100.0 * (new[key] - old[key]) / old[key]
+        if abs(pct) > threshold:
+            changed.append((key, old[key], new[key], pct))
+    return common, changed
+
+
+def load_history_median(history_dir, median_of, loader=load_benchmarks):
     """Per-benchmark median over the last `median_of` history artifacts.
 
     Returns (baseline dict, number of artifacts used). A benchmark only
@@ -60,14 +118,14 @@ def load_history_median(history_dir, median_of):
     paths = sorted(
         os.path.join(history_dir, name)
         for name in os.listdir(history_dir)
-        if name.endswith(".json")
+        if name.endswith(".json") or name.endswith(".jsonl")
     )
     paths = paths[-median_of:]
     series = {}
     used = 0
     for path in paths:
         try:
-            run = load_benchmarks(path)
+            run = loader(path)
         except (OSError, json.JSONDecodeError) as err:
             print(f"bench_diff: skipping unreadable artifact {path}: {err}")
             continue
@@ -124,25 +182,46 @@ def main():
         action="store_true",
         help="report regressions but exit 0 (for noisy runners)",
     )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="artifacts are stream_runner --metrics JSONL snapshots; "
+             "flag counter changes in either direction, always exit 0",
+    )
     args = parser.parse_args()
+
+    loader = load_counters if args.counters else load_benchmarks
 
     if args.history is not None:
         if len(args.artifacts) != 1:
             parser.error("--history takes exactly one NEW.json")
         if args.median_of < 1:
             parser.error("--median-of must be >= 1")
-        old, used = load_history_median(args.history, args.median_of)
+        old, used = load_history_median(args.history, args.median_of,
+                                        loader)
         if used == 0:
             print("bench_diff: empty history; nothing to diff against")
             return 0
         baseline_desc = f"median of last {used} run(s)"
-        new = load_benchmarks(args.artifacts[0])
+        new = loader(args.artifacts[0])
     else:
         if len(args.artifacts) != 2:
             parser.error("expected OLD.json NEW.json (or NEW.json --history DIR)")
-        old = load_benchmarks(args.artifacts[0])
-        new = load_benchmarks(args.artifacts[1])
+        old = loader(args.artifacts[0])
+        new = loader(args.artifacts[1])
         baseline_desc = "previous run"
+
+    if args.counters:
+        common, changed = diff_counters(old, new, args.threshold)
+        print(f"bench_diff: {len(common)} comparable counters vs "
+              f"{baseline_desc}, threshold {args.threshold:.1f}% "
+              f"(advisory: always exit 0)")
+        for key, o, n, pct in changed:
+            arrow = "inf" if pct == float("inf") else f"{pct:+.1f}%"
+            print(f"  CHANGED {key}: {o:.0f} -> {n:.0f} ({arrow})")
+        if not changed:
+            print("  no counter changes beyond threshold")
+        return 0
 
     common, only_old, only_new, regressions, improvements = diff(
         old, new, args.threshold)

@@ -20,6 +20,22 @@ def write_run(path, times):
         json.dump(doc, f)
 
 
+def write_counters(path, values, label="dynamic/skiplist"):
+    """One stream_runner-style JSONL snapshot; values of None become a
+    histogram row with that key's count carried in a `count` field."""
+    with open(path, "w") as f:
+        for metric, value in values.items():
+            if isinstance(value, tuple):  # (kind="histogram", count)
+                f.write(json.dumps({"label": label, "metric": metric,
+                                    "kind": "histogram", "count": value[1],
+                                    "sum": 10 * value[1],
+                                    "buckets": [0, value[1]]}) + "\n")
+            else:
+                f.write(json.dumps({"label": label, "metric": metric,
+                                    "kind": "counter",
+                                    "value": value}) + "\n")
+
+
 def run(*argv):
     proc = subprocess.run([sys.executable, SCRIPT, *argv],
                           capture_output=True, text=True)
@@ -98,6 +114,52 @@ def main():
         check("history.disappeared_warns",
               rc == 0 and "WARNING disappeared benchmark: BM_GONE" in out,
               out)
+
+        # --counters mode: advisory (exit 0 even on change), flags moves
+        # in EITHER direction, keys by label/metric, histograms by count.
+        cold = os.path.join(tmp, "cold.jsonl")
+        cnew = os.path.join(tmp, "cnew.jsonl")
+        write_counters(cold, {"publish.full_walks": 10,
+                              "router.cache_hits": 1000,
+                              "span.batch.delete.us": ("histogram", 20)})
+        write_counters(cnew, {"publish.full_walks": 30,
+                              "router.cache_hits": 500,
+                              "span.batch.delete.us": ("histogram", 20)})
+        rc, out = run(cold, cnew, "--counters", "--threshold", "10")
+        check("counters.advisory_exit0", rc == 0, out)
+        check("counters.flags_increase",
+              "CHANGED dynamic/skiplist/publish.full_walks" in out, out)
+        check("counters.flags_decrease",
+              "CHANGED dynamic/skiplist/router.cache_hits" in out, out)
+        check("counters.stable_histogram_not_flagged",
+              "span.batch.delete.us" not in out, out)
+
+        rc, out = run(cold, cold, "--counters", "--threshold", "10")
+        check("counters.clean",
+              rc == 0 and "no counter changes" in out, out)
+
+        # Zero-crossing counters are always flagged: 0 -> anything (and
+        # back) is a behavior change no percentage can express.
+        czero = os.path.join(tmp, "czero.jsonl")
+        write_counters(czero, {"publish.full_walks": 0,
+                               "router.cache_hits": 1000,
+                               "span.batch.delete.us": ("histogram", 20)})
+        rc, out = run(czero, cnew, "--counters", "--threshold", "10")
+        check("counters.zero_crossing_flagged",
+              rc == 0 and "CHANGED dynamic/skiplist/publish.full_walks"
+              in out, out)
+
+        # History mode composes with --counters (.jsonl files in DIR).
+        chist = os.path.join(tmp, "counter-history")
+        os.mkdir(chist)
+        for i, hits in enumerate([1000, 1010, 990]):
+            write_counters(os.path.join(chist, f"metrics-{i:03d}.jsonl"),
+                           {"router.cache_hits": hits})
+        rc, out = run(cnew, "--counters", "--history", chist,
+                      "--median-of", "3")
+        check("counters.history_median",
+              rc == 0 and "CHANGED dynamic/skiplist/router.cache_hits"
+              in out, out)
 
     if failures:
         print(f"{len(failures)} check(s) failed")

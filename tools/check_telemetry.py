@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates a stream_runner --metrics/--trace pair against the telemetry
+acceptance contract (run by CTest as smoke.check_telemetry):
+
+* the JSONL snapshot parses and carries both per-structure counters and
+  span histograms;
+* the top-level batch spans (batch.insert / batch.delete /
+  batch.connected) sum to within --tolerance percent of the replay wall
+  time the runner recorded (replay.total_us) — i.e. the phase breakdown
+  actually accounts for where the time went;
+* the Chrome trace is valid JSON with well-formed complete events whose
+  total duration is consistent with the same wall time.
+
+Usage: check_telemetry.py METRICS.jsonl TRACE.json [--tolerance PCT]
+"""
+
+import argparse
+import json
+import sys
+
+TOP_SPANS = ("span.batch.insert.us", "span.batch.delete.us",
+             "span.batch.connected.us")
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics")
+    parser.add_argument("trace")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="max |span sum - wall time| as a percent of "
+                             "wall time (default: 10)")
+    args = parser.parse_args()
+    failures = []
+
+    rows = load_rows(args.metrics)
+    if not rows:
+        failures.append("metrics file is empty")
+    by_metric = {}
+    for r in rows:
+        by_metric.setdefault(r["metric"], r)
+    if not any(m.startswith("core.") for m in by_metric):
+        failures.append("no core.* counters in the snapshot")
+
+    span_sum = 0.0
+    spans_seen = 0
+    for name in TOP_SPANS:
+        row = by_metric.get(name)
+        if row is None:
+            continue
+        spans_seen += 1
+        span_sum += float(row.get("sum", 0))
+    if spans_seen == 0:
+        failures.append("no top-level batch spans in the snapshot "
+                        f"(expected any of {TOP_SPANS})")
+
+    wall_row = by_metric.get("replay.total_us")
+    if wall_row is None:
+        failures.append("no replay.total_us gauge in the snapshot")
+    elif spans_seen:
+        wall = float(wall_row["value"])
+        if wall <= 0:
+            failures.append(f"non-positive replay wall time: {wall}")
+        else:
+            off_pct = 100.0 * abs(span_sum - wall) / wall
+            print(f"check_telemetry: batch spans sum to {span_sum:.0f} us "
+                  f"vs {wall:.0f} us wall ({off_pct:.1f}% off, "
+                  f"tolerance {args.tolerance:.1f}%)")
+            if off_pct > args.tolerance:
+                failures.append(
+                    f"span sum off by {off_pct:.1f}% > "
+                    f"{args.tolerance:.1f}% tolerance")
+
+    with open(args.trace) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append("trace has no traceEvents")
+    else:
+        complete = [e for e in events if e.get("ph") == "X"]
+        if not complete:
+            failures.append("trace has no complete ('X') events")
+        for e in events:
+            if not isinstance(e.get("name"), str) or "ts" not in e:
+                failures.append(f"malformed trace event: {e}")
+                break
+        dropped = trace.get("otherData", {}).get("dropped_events")
+        print(f"check_telemetry: {len(events)} trace events "
+              f"({len(complete)} spans), dropped={dropped}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("check_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,9 +39,14 @@
 // every phased query answer (for the insert-only incremental engine the
 // oracle skips deletion batches — it validates the engine against its own
 // restricted model). Any mismatch fails the run.
-// After a replay the cumulative `statistics` counters of the structure
-// are printed, along with the aggregated node-pool report (allocation
-// traffic, retained bytes, and how much a high-watermark trim releases).
+// After a replay the structure's cumulative counters, the node-pool
+// report, and the phase-span timing histograms are rendered through the
+// telemetry text exporter (src/obs/) — one formatting path for every
+// engine. --metrics=FILE additionally writes the same snapshot as
+// JSON-lines (one object per metric, labeled with the run
+// configuration; see obs/exporters.hpp for the schema), and
+// --trace=FILE writes a Chrome trace-event timeline of the per-batch
+// phase spans, viewable in chrome://tracing or ui.perfetto.dev.
 //
 // Vertex ids in a stream file need not be < the header's n: every
 // structure validates its inputs at the public API (out-of-range updates
@@ -72,6 +77,8 @@
 #include "gen/graph_gen.hpp"
 #include "gen/update_stream.hpp"
 #include "hdt/hdt_connectivity.hpp"
+#include "obs/collectors.hpp"
+#include "obs/exporters.hpp"
 #include "parallel/scheduler.hpp"
 #include "spanning/union_find.hpp"
 #include "util/random.hpp"
@@ -438,75 +445,51 @@ void print_report(const char* name, const replay_report& r) {
               r.connected_answers);
 }
 
-void print_pool_report(batch_dynamic_connectivity& s) {
-  auto p = s.pool_stats();
-  double kib = 1024.0;
-  std::printf(
-      "  pool:  fresh %" PRIu64 " | recycled %" PRIu64 " | freed %" PRIu64
-      " | outstanding %" PRIu64 "\n"
-      "         blocks %" PRIu64 " (%.0f KiB retained, %" PRIu64
-      " spare) | trimmed so far %.0f KiB\n",
-      p.fresh, p.recycled, p.freed, p.outstanding(), p.blocks,
-      static_cast<double>(p.retained_bytes()) / kib, p.spare_blocks,
-      static_cast<double>(p.trimmed_bytes) / kib);
-  size_t released = s.trim_pools();
-  std::printf("         high-watermark trim now: %.0f KiB released\n",
-              static_cast<double>(released) / kib);
+// --metrics / --trace destinations (empty = disabled), set in main.
+std::string g_metrics_path;
+std::string g_trace_path;
+
+/// Replay wall times join the snapshot so the span breakdown can be
+/// checked against them (tools/check_telemetry.py asserts the batch
+/// spans sum to within 10% of these).
+void collect_replay(obs::metrics_snapshot& snap, const replay_report& r) {
+  auto us = [](double sec) { return static_cast<int64_t>(sec * 1e6); };
+  snap.add_gauge("replay.insert_us", us(r.insert_sec));
+  snap.add_gauge("replay.delete_us", us(r.delete_sec));
+  snap.add_gauge("replay.query_us", us(r.query_sec));
+  snap.add_gauge("replay.total_us",
+                 us(r.insert_sec + r.delete_sec + r.query_sec));
 }
 
-void print_statistics(const statistics& st) {
-  std::printf(
-      "  stats: batches ins/del %" PRIu64 "/%" PRIu64 " | edges ins/del %"
-      PRIu64 "/%" PRIu64 " (tree del %" PRIu64 ")\n"
-      "         levels searched %" PRIu64 " | search rounds %" PRIu64
-      " | doubling phases %" PRIu64 "\n"
-      "         edges fetched %" PRIu64 " | pushed %" PRIu64
-      " | replacements promoted %" PRIu64 "\n",
-      st.batches_inserted, st.batches_deleted, st.edges_inserted,
-      st.edges_deleted, st.tree_edges_deleted, st.levels_searched,
-      st.search_rounds, st.doubling_phases, st.edges_fetched,
-      st.edges_pushed, st.replacements_promoted);
-  if (st.snapshots_published > 0) {
-    std::printf(
-        "         publish: %" PRIu64 " snapshots | %.1f us/batch | %" PRIu64
-        " vertices relabeled (%.1f/batch) | %" PRIu64 " full walks\n",
-        st.snapshots_published,
-        static_cast<double>(st.publish_micros) /
-            static_cast<double>(st.snapshots_published),
-        st.publish_relabeled,
-        static_cast<double>(st.publish_relabeled) /
-            static_cast<double>(st.snapshots_published),
-        st.publishes_full);
+/// The single reporting sink: merges the global registry (span
+/// histograms, retention gauges) into the per-structure rows, prints the
+/// text report, and appends the run to --metrics as JSON-lines.
+void report_metrics(const std::string& label, obs::metrics_snapshot snap) {
+  obs::metrics_snapshot reg = obs::metric_registry::global().snapshot();
+  snap.rows.insert(snap.rows.end(),
+                   std::make_move_iterator(reg.rows.begin()),
+                   std::make_move_iterator(reg.rows.end()));
+  snap.sort();
+  obs::export_text(stdout, snap);
+  if (!g_metrics_path.empty()) {
+    std::ofstream out(g_metrics_path, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics file '%s'\n",
+                   g_metrics_path.c_str());
+    } else {
+      obs::export_jsonl(out, snap, label);
+    }
   }
 }
 
-void print_statistics(const hdt_connectivity::statistics& st) {
-  std::printf(
-      "  stats: edges ins/del %" PRIu64 "/%" PRIu64 " (tree del %" PRIu64
-      ") | levels searched %" PRIu64 " | edges pushed %" PRIu64
-      " | replacements promoted %" PRIu64 "\n",
-      st.edges_inserted, st.edges_deleted, st.tree_edges_deleted,
-      st.levels_searched, st.edges_pushed, st.replacements_promoted);
-}
-
-void print_router_statistics(const router_statistics& st) {
-  double hit_pct =
-      st.cache_lookups > 0
-          ? 100.0 * static_cast<double>(st.cache_hits) /
-                static_cast<double>(st.cache_lookups)
-          : 0.0;
-  std::printf(
-      "  router: batches uf/dyn %" PRIu64 "/%" PRIu64
-      " | phase switches %" PRIu64 " | no-op delete batches dropped %" PRIu64
-      "\n"
-      "          promotions %" PRIu64 " (%" PRIu64
-      " edges bulk-loaded, %.2f ms one-shot)\n"
-      "          cache: %" PRIu64 "/%" PRIu64 " endpoint hits (%.1f%%), %"
-      PRIu64 " invalidations\n",
-      st.batches_on_unionfind, st.batches_on_dynamic, st.phase_switches,
-      st.dropped_delete_batches, st.promotions, st.promotion_edges,
-      static_cast<double>(st.promotion_micros) / 1e3, st.cache_hits,
-      st.cache_lookups, hit_pct, st.cache_invalidations);
+/// The historical pool report ended with a high-watermark trim; keep the
+/// side effect and report what it released through the snapshot instead
+/// of a bespoke printf.
+void collect_pool_and_trim(obs::metrics_snapshot& snap,
+                           batch_dynamic_connectivity& s) {
+  obs::collect(snap, s.pool_stats());
+  snap.add_gauge("pool.trim_released_bytes",
+                 static_cast<int64_t>(s.trim_pools()));
 }
 
 /// Prints the --check verdict; returns 1 on any mismatch.
@@ -550,6 +533,11 @@ int run_structure(engine_kind eng, vertex_id n, const update_stream& stream,
     // config_label applies the library's policy normalization, so a
     // --policy naming the primary substrate reads as uniform here.
     std::string label = std::string(which) + "/" + config_label(o);
+    // Per-run registry baseline: self-demo replays several
+    // configurations in one process, and each report should cover only
+    // its own replay (construction-time publishes excluded too).
+    obs::metric_registry::global().reset();
+    obs::metrics_snapshot snap;
     if (serve_threads > 0) {
       auto sr = serve_replay(s, n, stream, serve_threads);
       print_report(label.c_str(), sr.rep);
@@ -562,11 +550,15 @@ int run_structure(engine_kind eng, vertex_id n, const update_stream& stream,
         std::fprintf(stderr, "concurrent differential check FAILED\n");
         return 1;
       }
+      collect_replay(snap, sr.rep);
     } else {
-      print_report(label.c_str(), replay(s, stream, cp));
+      replay_report rep = replay(s, stream, cp);
+      print_report(label.c_str(), rep);
+      collect_replay(snap, rep);
     }
-    print_statistics(s.stats());
-    print_pool_report(s);
+    obs::collect(snap, s.stats());
+    collect_pool_and_trim(snap, s);
+    report_metrics(label, std::move(snap));
     return finish_check(cp);
   }
 
@@ -582,26 +574,48 @@ int run_structure(engine_kind eng, vertex_id n, const update_stream& stream,
     ro.dynamic_opts.dispatch = disp;
     engine_router s(n, ro);
     std::string label = "auto/" + config_label(ro.dynamic_opts);
-    print_report(label.c_str(), replay(s, stream, cp));
-    print_router_statistics(s.stats());
-    if (const batch_dynamic_connectivity* d = s.dynamic_engine())
-      print_statistics(d->stats());
+    obs::metric_registry::global().reset();
+    obs::metrics_snapshot snap;
+    replay_report rep = replay(s, stream, cp);
+    print_report(label.c_str(), rep);
+    collect_replay(snap, rep);
+    obs::collect(snap, s.stats());
+    if (const batch_dynamic_connectivity* d = s.dynamic_engine()) {
+      obs::collect(snap, d->stats());
+      obs::collect(snap, d->pool_stats());
+    }
+    report_metrics(label, std::move(snap));
     return finish_check(cp);
   }
   if (eng == engine_kind::hdt) {
     hdt_connectivity s(n);
-    print_report("hdt", replay(s, stream, cp));
-    print_statistics(s.stats());
+    obs::metric_registry::global().reset();
+    obs::metrics_snapshot snap;
+    replay_report rep = replay(s, stream, cp);
+    print_report("hdt", rep);
+    collect_replay(snap, rep);
+    obs::collect(snap, s.stats());
+    report_metrics("hdt", std::move(snap));
     return finish_check(cp);
   }
   if (eng == engine_kind::static_recompute) {
     static_recompute_connectivity s(n);
-    print_report("static", replay(s, stream, cp));
-    std::printf("  stats: %" PRIu64 " full recomputes\n", s.recomputes());
+    obs::metric_registry::global().reset();
+    obs::metrics_snapshot snap;
+    replay_report rep = replay(s, stream, cp);
+    print_report("static", rep);
+    collect_replay(snap, rep);
+    snap.add_counter("static.full_recomputes", s.recomputes());
+    report_metrics("static", std::move(snap));
     return finish_check(cp);
   }
   incremental_adapter s(n);
-  print_report("incremental", replay(s, stream, cp));
+  obs::metric_registry::global().reset();
+  obs::metrics_snapshot snap;
+  replay_report rep = replay(s, stream, cp);
+  print_report("incremental", rep);
+  collect_replay(snap, rep);
+  report_metrics("incremental", std::move(snap));
   return finish_check(cp);
 }
 
@@ -655,10 +669,33 @@ int usage(const char* prog) {
                "[--policy=<substrate>:<threshold>] "
                "[--dispatch=static|virtual] [--workers=N] "
                "[--serve-queries=T] [--publish=incremental|full] "
+               "[--metrics=FILE] [--trace=FILE] "
                "[--check] <stream-file>\n"
                "  %s                (self-demo; flags apply)\n",
                prog, prog, prog);
   return 2;
+}
+
+/// Post-replay trace flush. Called once, after every structure and
+/// reader thread has been joined, so the recorder's quiescence
+/// requirement holds.
+int finish_run(int rc) {
+  obs::trace_recorder& tr = obs::trace_recorder::global();
+  if (g_trace_path.empty() || !tr.active()) return rc;
+  tr.disable();
+  std::ofstream out(g_trace_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n",
+                 g_trace_path.c_str());
+    return rc != 0 ? rc : 2;
+  }
+  const uint64_t dropped = tr.dropped();
+  obs::export_chrome_trace(out, tr.drain(), dropped);
+  std::fprintf(stderr,
+               "wrote chrome trace to %s (load via chrome://tracing or "
+               "ui.perfetto.dev)\n",
+               g_trace_path.c_str());
+  return rc;
 }
 
 }  // namespace
@@ -767,6 +804,18 @@ int main(int argc, char** argv) {
                      stream_kind.c_str());
         return 2;
       }
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      g_metrics_path = a.substr(10);
+      if (g_metrics_path.empty()) {
+        std::fprintf(stderr, "bad --metrics value (want a file path)\n");
+        return 2;
+      }
+    } else if (a.rfind("--trace=", 0) == 0) {
+      g_trace_path = a.substr(8);
+      if (g_trace_path.empty()) {
+        std::fprintf(stderr, "bad --trace value (want a file path)\n");
+        return 2;
+      }
     } else if (a == "--check") {
       check = true;
     } else if (a.rfind("--", 0) == 0) {
@@ -775,7 +824,20 @@ int main(int argc, char** argv) {
       args.push_back(std::move(a));
     }
   }
-  if (args.empty()) return self_demo(serve_threads, pub);
+  // Arm the export sinks before any replay. --metrics appends one block
+  // of JSON-lines per replayed configuration, so start from an empty
+  // file; the trace covers the whole process and is flushed on exit.
+  if (!g_metrics_path.empty()) {
+    std::ofstream truncated(g_metrics_path, std::ios::trunc);
+    if (!truncated) {
+      std::fprintf(stderr, "cannot write metrics file '%s'\n",
+                   g_metrics_path.c_str());
+      return 2;
+    }
+  }
+  if (!g_trace_path.empty()) obs::trace_recorder::global().enable();
+
+  if (args.empty()) return finish_run(self_demo(serve_threads, pub));
 
   const std::string& cmd = args[0];
   if (cmd == "gen" && args.size() == 7) {
@@ -823,8 +885,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read stream file '%s'\n", args[1].c_str());
       return 2;
     }
-    return run_structure(eng, n, stream, sub, policy, disp, serve_threads,
-                         pub, check);
+    return finish_run(run_structure(eng, n, stream, sub, policy, disp,
+                                    serve_threads, pub, check));
   }
   return usage(argv[0]);
 }
