@@ -31,8 +31,8 @@ namespace {
 /// Canonicalizes, dedupes, and drops self-loops and edges with an
 /// endpoint outside [0, n). The range check is the public API's only
 /// defense: an out-of-range id that slips through (e.g. from a truncated
-/// or hand-edited stream file) would flow into batch_find_rep and the
-/// substrates' per-vertex arrays and index out of bounds.
+/// or hand-edited stream file) would flow into batch_find_rep and index
+/// past the substrates' sparse vertex directories (sized for ids < n).
 std::vector<edge> sanitize(std::span<const edge> edges, vertex_id n) {
   std::vector<edge> clean(edges.size());
   parallel_for(0, edges.size(),
@@ -105,35 +105,52 @@ batch_dynamic_connectivity::update_scope::update_scope(
 }
 
 batch_dynamic_connectivity::update_scope::~update_scope() {
-  if (owner_.service_ == nullptr) return;
-  service_state& s = *owner_.service_;
-  // Publish the post-batch snapshot BEFORE re-opening the live fast path:
-  // readers arriving in this window fall back to the (already fresh)
-  // snapshot.
-  owner_.publish_snapshot(/*force_full=*/false);
-  s.phase.fetch_add(1, std::memory_order_release);  // -> even
-  {
-    BDC_PHASE_SPAN(sp, "epoch.drain");
-    // Epoch turnover: everything retired during this batch is stamped with
-    // the pre-advance epoch, so after the advance a NEW reader can never
-    // reach it, and the drains below free whatever no OLD reader pins.
-    // Draining after the advance is also what makes the overflow-pin path
-    // sound (see epoch_manager::pin).
-    s.epochs.advance();
-    s.epochs.end_write();  // drain_limbo asserts mutation quiescence
-    s.epochs.drain();
-    owner_.top_forest_->drain_limbo();
+  if (owner_.service_ != nullptr) {
+    service_state& s = *owner_.service_;
+    // Publish the post-batch snapshot BEFORE re-opening the live fast
+    // path: readers arriving in this window fall back to the (already
+    // fresh) snapshot.
+    owner_.publish_snapshot(/*force_full=*/false);
+    s.phase.fetch_add(1, std::memory_order_release);  // -> even
+    {
+      BDC_PHASE_SPAN(sp, "epoch.drain");
+      // Epoch turnover: everything retired during this batch is stamped
+      // with the pre-advance epoch, so after the advance a NEW reader can
+      // never reach it, and the drains below free whatever no OLD reader
+      // pins. Draining after the advance is also what makes the
+      // overflow-pin path sound (see epoch_manager::pin).
+      s.epochs.advance();
+      s.epochs.end_write();  // drain_limbo asserts mutation quiescence
+      s.epochs.drain();
+      owner_.top_forest_->drain_limbo();
+    }
+#if BDC_TELEMETRY_ENABLED
+    // Retention gauges: sampled once per batch, after the drains, so they
+    // report what actually survives the batch (limbo that readers pin and
+    // blocks the pool keeps).
+    static obs::gauge& limbo_g =
+        obs::metric_registry::global().get_gauge("epoch.limbo");
+    static obs::gauge& blocks_g =
+        obs::metric_registry::global().get_gauge("pool.retained_blocks");
+    limbo_g.set(static_cast<int64_t>(s.epochs.limbo_size()));
+    blocks_g.set(static_cast<int64_t>(owner_.pool_stats().blocks));
+#endif
   }
 #if BDC_TELEMETRY_ENABLED
-  // Retention gauges: sampled once per batch, after the drains, so they
-  // report what actually survives the batch (limbo that readers pin and
-  // blocks the pool keeps).
-  static obs::gauge& limbo_g =
-      obs::metric_registry::global().get_gauge("epoch.limbo");
-  static obs::gauge& blocks_g =
-      obs::metric_registry::global().get_gauge("pool.retained_blocks");
-  limbo_g.set(static_cast<int64_t>(s.epochs.limbo_size()));
-  blocks_g.set(static_cast<int64_t>(owner_.pool_stats().blocks));
+  // Hierarchy footprint gauges: sampled once per batch regardless of the
+  // read service, so reports and --metrics JSONL can show memory scaling
+  // with per-level activity (sparse vertex directories) instead of with
+  // n * materialized levels.
+  static obs::gauge& mat_g =
+      obs::metric_registry::global().get_gauge("levels.materialized");
+  static obs::gauge& act_g =
+      obs::metric_registry::global().get_gauge("levels.active_vertices");
+  static obs::gauge& bytes_g =
+      obs::metric_registry::global().get_gauge("levels.bytes");
+  const level_structure::hierarchy_stats hs = owner_.ls_.footprint();
+  mat_g.set(static_cast<int64_t>(hs.materialized));
+  act_g.set(static_cast<int64_t>(hs.active_vertices));
+  bytes_g.set(static_cast<int64_t>(hs.bytes));
 #endif
 }
 
@@ -1040,14 +1057,35 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
       return fail("level " + std::to_string(i) + ": forest has " +
                   std::to_string(f->num_edges()) + " edges, expected " +
                   std::to_string(expect));
+    // The vertices level i can touch: endpoints of the tree edges F_i
+    // holds (levels <= i) plus endpoints of level-i edges (which carry
+    // the level's counters). With sparse activation this is EXACTLY the
+    // set of vertices holding a directory slot in F_i; every other
+    // vertex is a tourless singleton with zero counters, whose checks
+    // the substrate's own check_consistency already covers. Sweeping
+    // `touched` instead of [0, n) keeps the invariant walk O(edges) per
+    // level — the same bound the structure itself now obeys.
+    std::vector<vertex_id> touched;
+    for (auto& [key, rec] : edges) {
+      if ((rec.is_tree && rec.level <= i) || rec.level == i) {
+        edge e = edge_from_key(key);
+        touched.push_back(e.u);
+        touched.push_back(e.v);
+      }
+    }
+    sort_unique(touched);
+    if (f->active_vertices() != touched.size())
+      return fail("level " + std::to_string(i) + ": " +
+                  std::to_string(f->active_vertices()) +
+                  " active directory slots, but " +
+                  std::to_string(touched.size()) +
+                  " vertices carry level-" + std::to_string(i) + " edges");
     // Invariant 1 + augmented size cross-check.
-    size_t n = num_vertices();
     std::unordered_map<rep, size_t> comp_count;
-    for (size_t v = 0; v < n; ++v)
-      comp_count[f->find_rep(static_cast<vertex_id>(v))]++;
-    for (size_t v = 0; v < n; ++v) {
-      auto cc = f->component_counts(static_cast<vertex_id>(v));
-      rep handle = f->find_rep(static_cast<vertex_id>(v));
+    for (vertex_id v : touched) comp_count[f->find_rep(v)]++;
+    for (vertex_id v : touched) {
+      auto cc = f->component_counts(v);
+      rep handle = f->find_rep(v);
       if (cc.vertices != comp_count[handle])
         return fail("level " + std::to_string(i) +
                     ": augmented size mismatch at vertex " +
@@ -1059,10 +1097,10 @@ invariant_report batch_dynamic_connectivity::check_invariants() const {
     }
     // Per-vertex counters match adjacency degrees.
     const leveled_adjacency* a = ls_.adj_if(i);
-    for (size_t v = 0; v < n; ++v) {
-      auto vc = f->vertex_counts(static_cast<vertex_id>(v));
-      uint32_t td = a ? a->tree_degree(static_cast<vertex_id>(v)) : 0;
-      uint32_t nd = a ? a->nontree_degree(static_cast<vertex_id>(v)) : 0;
+    for (vertex_id v : touched) {
+      auto vc = f->vertex_counts(v);
+      uint32_t td = a ? a->tree_degree(v) : 0;
+      uint32_t nd = a ? a->nontree_degree(v) : 0;
       if (vc.tree_edges != td || vc.nontree_edges != nd)
         return fail("level " + std::to_string(i) +
                     ": counter/degree mismatch at vertex " +

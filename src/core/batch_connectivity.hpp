@@ -164,7 +164,9 @@ class batch_dynamic_connectivity {
   void reset_stats() { stats_ = {}; }
 
   /// Deep validation of every paper invariant plus substrate consistency
-  /// (tests; cost O(m lg n + n lg n)).
+  /// (tests; cost O(m lg n + n) — the per-level sweeps walk only the
+  /// vertices the level's edges touch, the O(n) is the one global
+  /// union-find cross-check).
   [[nodiscard]] invariant_report check_invariants() const;
 
   /// Access to the underlying hierarchy (benchmarks / diagnostics).

@@ -41,6 +41,18 @@ node_pool::stats_snapshot level_structure::pool_stats() const {
   return total;
 }
 
+level_structure::hierarchy_stats level_structure::footprint() const {
+  hierarchy_stats hs;
+  for (const level_state& ls : levels_) {
+    if (!ls.forest) continue;
+    ++hs.materialized;
+    hs.active_vertices += ls.forest->active_vertices();
+    hs.bytes += ls.forest->directory_bytes() +
+                ls.forest->pool_stats().retained_bytes();
+  }
+  return hs;
+}
+
 size_t level_structure::trim_pools(size_t keep_bytes) {
   size_t released = 0;
   for (level_state& ls : levels_)

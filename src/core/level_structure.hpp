@@ -75,6 +75,18 @@ class level_structure {
 
   /// Aggregated node-pool counters across every materialized forest.
   [[nodiscard]] node_pool::stats_snapshot pool_stats() const;
+  /// Hierarchy footprint (safe anytime: atomic counters + pool stats):
+  /// materialized forest count, active directory slots summed across
+  /// them, and the bytes those forests retain (sparse vertex directories
+  /// plus pooled tour nodes). This is what the levels.* gauges report —
+  /// with sparse activation it scales with the touched vertices per
+  /// level, not with n * materialized levels.
+  struct hierarchy_stats {
+    uint64_t materialized = 0;
+    uint64_t active_vertices = 0;
+    uint64_t bytes = 0;
+  };
+  [[nodiscard]] hierarchy_stats footprint() const;
   /// Trims every materialized forest's pool (see node_pool::trim),
   /// keeping up to `keep_bytes` of spare blocks per forest; returns the
   /// total bytes released. Quiescence required.

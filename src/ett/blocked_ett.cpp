@@ -25,7 +25,7 @@ struct blocked_ett::block {
   block* next = nullptr;
   std::atomic<tour*> owner{nullptr};
   uint32_t count = 0;
-  ett_counts agg;  // sum of own_[v] over sentinel entries in this block
+  ett_counts agg;  // sum of slot->own over sentinel entries in this block
   uint64_t tags[kBlockCap];
 };
 
@@ -60,7 +60,7 @@ struct blocked_ett::tour {
 };
 
 blocked_ett::blocked_ett(vertex_id n, uint64_t /*seed*/)
-    : own_(n, ett_counts{1, 0, 0}), vloc_(n), arcs_(64) {}
+    : n_(n), arcs_(64), dir_(n, pool_) {}
 
 blocked_ett::~blocked_ett() = default;  // block storage is pool-owned
 
@@ -70,7 +70,7 @@ blocked_ett::block* blocked_ett::new_block(tour* owner) {
   // recycled memory: with epochs bound, memory only leaves the limbo —
   // and so becomes allocatable again — once no pinned reader can reach
   // its previous incarnation. The block becomes reader-visible only via
-  // a later release store into vloc_, which publishes this init.
+  // a later release store into a slot's vloc, which publishes this init.
   block* b = new (pool_.allocate(sizeof(block))) block;
   b->owner.store(owner, std::memory_order_relaxed);
   return b;
@@ -94,24 +94,48 @@ void blocked_ett::free_tour(tour* t) {
   pool_.reclaim(static_cast<void*>(t), sizeof(tour));
 }
 
+blocked_ett::vslot& blocked_ett::ensure_slot(vertex_id v) {
+  // The init runs before the slot is published, so a concurrent relaxed
+  // reader either misses the vertex entirely (singleton rep) or sees a
+  // fully initialized slot.
+  return dir_.activate(v, [](vslot& s) {
+    s.own = ett_counts{1, 0, 0};
+    s.vloc.store(nullptr, std::memory_order_relaxed);
+  });
+}
+
+const ett_counts& blocked_ett::own_of(vertex_id v) const {
+  vslot* s = slot(v);
+  assert(s != nullptr && "tour sentinel without a directory slot");
+  return s->own;
+}
+
+void blocked_ett::maybe_release_slot(vertex_id v, vslot& s) {
+  if (s.own.tree_edges == 0 && s.own.nontree_edges == 0 &&
+      s.vloc.load(std::memory_order_relaxed) == nullptr)
+    dir_.deactivate(v);
+}
+
 blocked_ett::tour* blocked_ett::tour_of(vertex_id v) const {
-  block* b = vloc_[v].load(std::memory_order_relaxed);
+  vslot* s = slot(v);
+  block* b = s == nullptr ? nullptr : s->vloc.load(std::memory_order_relaxed);
   return b == nullptr ? nullptr : b->owner.load(std::memory_order_relaxed);
 }
 
 blocked_ett::tour* blocked_ett::materialize(vertex_id v) {
-  assert(vloc_[v].load(std::memory_order_relaxed) == nullptr);
+  vslot& s = ensure_slot(v);
+  assert(s.vloc.load(std::memory_order_relaxed) == nullptr);
   tour* t = new_tour();
   block* b = new_block(t);
   b->prev = b->next = b;
   b->tags[0] = static_cast<uint64_t>(v);
   b->count = 1;
-  b->agg = own_[v];
+  b->agg = s.own;
   t->head = b;
-  t->agg = own_[v];
+  t->agg = s.own;
   t->nentries = 1;
   t->nblocks = 1;
-  vloc_[v].store(b, std::memory_order_release);
+  s.vloc.store(b, std::memory_order_release);
   return t;
 }
 
@@ -126,7 +150,7 @@ void blocked_ett::recompute_agg(block* b) const {
   ett_counts agg{};
   for (uint32_t i = 0; i < b->count; ++i)
     if (!is_arc_tag(b->tags[i]))
-      agg = agg + own_[static_cast<vertex_id>(b->tags[i])];
+      agg = agg + own_of(static_cast<vertex_id>(b->tags[i]));
   b->agg = agg;
 }
 
@@ -134,7 +158,9 @@ void blocked_ett::reregister(block* b) {
   for (uint32_t i = 0; i < b->count; ++i) {
     uint64_t tag = b->tags[i];
     if (!is_arc_tag(tag)) {
-      vloc_[static_cast<vertex_id>(tag)].store(b, std::memory_order_release);
+      vslot* s = slot(static_cast<vertex_id>(tag));
+      assert(s != nullptr && "tour sentinel without a directory slot");
+      s->vloc.store(b, std::memory_order_release);
       continue;
     }
     edge e{arc_tag_tail(tag), arc_tag_head(tag)};
@@ -171,7 +197,7 @@ void blocked_ett::append_entries(block* b, const uint64_t* tags, uint32_t m) {
   b->count += m;
   for (uint32_t i = 0; i < m; ++i)
     if (!is_arc_tag(tags[i]))
-      b->agg = b->agg + own_[static_cast<vertex_id>(tags[i])];
+      b->agg = b->agg + own_of(static_cast<vertex_id>(tags[i]));
 }
 
 void blocked_ett::prepend_entry(block* b, uint64_t tag) {
@@ -179,7 +205,7 @@ void blocked_ett::prepend_entry(block* b, uint64_t tag) {
   std::memmove(b->tags + 1, b->tags, b->count * sizeof(uint64_t));
   b->tags[0] = tag;
   ++b->count;
-  if (!is_arc_tag(tag)) b->agg = b->agg + own_[static_cast<vertex_id>(tag)];
+  if (!is_arc_tag(tag)) b->agg = b->agg + own_of(static_cast<vertex_id>(tag));
 }
 
 void blocked_ett::rebalance(block* b, seam_blocks& dead) {
@@ -249,11 +275,17 @@ void blocked_ett::collapse_singleton(tour* t, seam_blocks& dead) {
   assert(t->nentries == 1 && t->nblocks == 1);
   block* b = t->head;
   assert(b->count == 1 && !is_arc_tag(b->tags[0]));
-  vloc_[static_cast<vertex_id>(b->tags[0])].store(nullptr,
-                                                  std::memory_order_release);
+  const vertex_id v = static_cast<vertex_id>(b->tags[0]);
+  vslot* s = slot(v);
+  assert(s != nullptr);
+  if (s == nullptr) return;  // unreachable: v's tour entry implies a slot
+  s->vloc.store(nullptr, std::memory_order_release);
   dead.push(b);
   free_block(b);
   free_tour(t);
+  // Last level-i edge gone and no counters left: reclaim the slot (the
+  // vertex reps as singleton_rep(v) from here on either way).
+  maybe_release_slot(v, *s);
 }
 
 // ---------------------------------------------------------------------
@@ -279,7 +311,7 @@ void blocked_ett::link_one(vertex_id u, vertex_id v) {
   const uint64_t hg = arc_tag(h, g);
   const uint64_t gh = arc_tag(g, h);
 
-  block* bh = vloc_[h].load(std::memory_order_relaxed);
+  block* bh = slot(h)->vloc.load(std::memory_order_relaxed);
   block* right = split_at(bh, index_in_block(bh, h) + 1);
 
   seam_blocks dead;
@@ -288,8 +320,10 @@ void blocked_ett::link_one(vertex_id u, vertex_id v) {
   cands.push(right);
 
   if (tg == nullptr) {
-    // Guest is a singleton: the insertion is the inline triple
-    // [h->g, s_g, g->h].
+    // Guest is a singleton: activate it (links must activate even when no
+    // level-i adjacency counters exist — F_i carries tree edges of lower
+    // levels too) and splice the inline triple [h->g, s_g, g->h].
+    vslot& sg = ensure_slot(g);
     const uint64_t triple[3] = {hg, static_cast<uint64_t>(g), gh};
     block* holder;
     if (bh->count + 3 <= kBlockCap) {
@@ -305,13 +339,13 @@ void blocked_ett::link_one(vertex_id u, vertex_id v) {
       ++th->nblocks;
       cands.push(holder);
     }
-    vloc_[g].store(holder, std::memory_order_release);
+    sg.vloc.store(holder, std::memory_order_release);
     set_arc_blocks(edge{h, g}, holder, holder);
-    th->agg = th->agg + own_[g];
+    th->agg = th->agg + sg.own;
     th->nentries += 3;
   } else {
     // Rotate the guest cycle so it starts at g's sentinel.
-    block* bg = vloc_[g].load(std::memory_order_relaxed);
+    block* bg = slot(g)->vloc.load(std::memory_order_relaxed);
     block* gstart = split_at(bg, index_in_block(bg, g));
     block* gend = gstart->prev;
     // Relabel the guest's blocks while the cycle is still closed.
@@ -458,14 +492,17 @@ void blocked_ett::cut_one(edge e) {
 }
 
 void blocked_ett::add_counts_one(const count_delta& d) {
-  ett_counts& own = own_[d.v];
+  // First positive delta on an untouched vertex activates it; a delta
+  // that zeroes the counters of a tourless vertex reclaims the slot.
+  vslot& s = ensure_slot(d.v);
+  ett_counts& own = s.own;
   assert(static_cast<int64_t>(own.tree_edges) + d.tree_delta >= 0);
   assert(static_cast<int64_t>(own.nontree_edges) + d.nontree_delta >= 0);
   own.tree_edges = static_cast<uint32_t>(
       static_cast<int64_t>(own.tree_edges) + d.tree_delta);
   own.nontree_edges = static_cast<uint32_t>(
       static_cast<int64_t>(own.nontree_edges) + d.nontree_delta);
-  if (block* b = vloc_[d.v].load(std::memory_order_relaxed); b != nullptr) {
+  if (block* b = s.vloc.load(std::memory_order_relaxed); b != nullptr) {
     auto apply = [&](ett_counts& c) {
       c.tree_edges = static_cast<uint32_t>(
           static_cast<int64_t>(c.tree_edges) + d.tree_delta);
@@ -474,6 +511,8 @@ void blocked_ett::add_counts_one(const count_delta& d) {
     };
     apply(b->agg);
     apply(b->owner.load(std::memory_order_relaxed)->agg);
+  } else {
+    maybe_release_slot(d.v, s);
   }
 }
 
@@ -550,6 +589,7 @@ void blocked_ett::batch_cut(std::span<const edge> cuts) {
       cut_one(cuts[i]);
     }
     arcs_.erase_batch(keys);
+    dir_.sweep_pending();
     return;
   }
 
@@ -575,14 +615,19 @@ void blocked_ett::batch_cut(std::span<const edge> cuts) {
       },
       1);
 
-  // Phase 3: drop the arc records in one erase phase.
+  // Phase 3: drop the arc records in one erase phase, then free the
+  // directory chunks the groups emptied (deferred: a group running in
+  // parallel with the deactivation may have been activating a sibling
+  // slot of the same chunk).
   arcs_.erase_batch(keys);
+  dir_.sweep_pending();
 }
 
 void blocked_ett::batch_add_counts(std::span<const count_delta> deltas) {
   size_t k = deltas.size();
   if (k < kParallelMutationCutoff || num_workers() <= 1) {
     for (const count_delta& d : deltas) add_counts_one(d);
+    dir_.sweep_pending();
     return;
   }
   // Deltas on one tour contend on the block/tour aggregates; group by
@@ -603,6 +648,7 @@ void blocked_ett::batch_add_counts(std::span<const count_delta> deltas) {
           add_counts_one(deltas[groups.records[j].second]);
       },
       1);
+  dir_.sweep_pending();
 }
 
 // ---------------------------------------------------------------------
@@ -610,9 +656,10 @@ void blocked_ett::batch_add_counts(std::span<const count_delta> deltas) {
 // ---------------------------------------------------------------------
 
 ett_substrate::rep blocked_ett::find_rep(vertex_id v) const {
-  block* b = vloc_[v].load(std::memory_order_relaxed);
+  vslot* s = slot(v);
+  block* b = s == nullptr ? nullptr : s->vloc.load(std::memory_order_relaxed);
   return b == nullptr
-             ? static_cast<rep>(&own_[v])
+             ? singleton_rep(v)
              : static_cast<rep>(b->owner.load(std::memory_order_relaxed));
 }
 
@@ -622,22 +669,24 @@ bool blocked_ett::connected(vertex_id u, vertex_id v) const {
 
 std::optional<bool> blocked_ett::connected_relaxed(vertex_id u,
                                                    vertex_id v) const {
-  // Acquire pairs with the writers' release stores: if either load
-  // observes a mid-batch store, the caller's seqlock revalidation is
-  // guaranteed to observe the odd version and discard the answer; if
-  // both observe quiescent values, the acquire ordering makes the
-  // dereferenced block's fields (set before the publishing store) fully
-  // visible. Blocks/tours reached through stale values are kept mapped
-  // by the epoch limbo for as long as the caller's guard is pinned.
-  const block* bu = vloc_[u].load(std::memory_order_acquire);
-  const block* bv = vloc_[v].load(std::memory_order_acquire);
-  rep ru = bu == nullptr
-               ? static_cast<rep>(&own_[u])
-               : static_cast<rep>(bu->owner.load(std::memory_order_acquire));
-  rep rv = bv == nullptr
-               ? static_cast<rep>(&own_[v])
-               : static_cast<rep>(bv->owner.load(std::memory_order_acquire));
-  return ru == rv;
+  // Acquire pairs with the writers' release stores: if any load observes
+  // a mid-batch store, the caller's seqlock revalidation is guaranteed
+  // to observe the odd version and discard the answer; if all observe
+  // quiescent values, the acquire ordering makes the dereferenced
+  // chunk's and block's fields (set before the publishing store) fully
+  // visible. Chunks/blocks/tours reached through stale values are kept
+  // mapped by the epoch limbo for as long as the caller's guard is
+  // pinned; a vertex whose slot is absent or tourless reps as the tagged
+  // singleton value, which no directory transition ever changes.
+  auto probe = [this](vertex_id x) -> rep {
+    const vslot* s = dir_.find(x);
+    const block* b =
+        s == nullptr ? nullptr : s->vloc.load(std::memory_order_acquire);
+    return b == nullptr
+               ? singleton_rep(x)
+               : static_cast<rep>(b->owner.load(std::memory_order_acquire));
+  };
+  return probe(u) == probe(v);
 }
 
 std::vector<bool> blocked_ett::batch_connected(
@@ -657,20 +706,26 @@ std::vector<ett_substrate::rep> blocked_ett::batch_find_rep(
 }
 
 ett_counts blocked_ett::component_counts(vertex_id v) const {
-  block* b = vloc_[v].load(std::memory_order_relaxed);
-  return b == nullptr ? own_[v]
+  vslot* s = slot(v);
+  if (s == nullptr) return ett_counts{1, 0, 0};  // never touched: singleton
+  block* b = s->vloc.load(std::memory_order_relaxed);
+  return b == nullptr ? s->own
                       : b->owner.load(std::memory_order_relaxed)->agg;
 }
 
-ett_counts blocked_ett::vertex_counts(vertex_id v) const { return own_[v]; }
+ett_counts blocked_ett::vertex_counts(vertex_id v) const {
+  vslot* s = slot(v);
+  return s == nullptr ? ett_counts{1, 0, 0} : s->own;
+}
 
 std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_counted(
     vertex_id v, uint64_t want, bool nontree) const {
   std::vector<std::pair<vertex_id, uint32_t>> out;
   if (want == 0) return out;
-  block* b0 = vloc_[v].load(std::memory_order_relaxed);
-  if (b0 == nullptr) {  // singleton component
-    uint64_t own = slot_count(own_[v], nontree);
+  vslot* s = slot(v);
+  block* b0 = s == nullptr ? nullptr : s->vloc.load(std::memory_order_relaxed);
+  if (b0 == nullptr) {  // singleton component (inactive: zero counters)
+    uint64_t own = s == nullptr ? 0 : slot_count(s->own, nontree);
     if (own > 0)
       out.emplace_back(v, static_cast<uint32_t>(std::min(own, want)));
     return out;
@@ -684,7 +739,7 @@ std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_counted(
       for (uint32_t i = 0; i < cur->count && left > 0; ++i) {
         uint64_t tag = cur->tags[i];
         if (is_arc_tag(tag)) continue;
-        uint64_t own = slot_count(own_[static_cast<vertex_id>(tag)],
+        uint64_t own = slot_count(own_of(static_cast<vertex_id>(tag)),
                                   nontree);
         if (own == 0) continue;
         uint64_t take = std::min(own, left);
@@ -710,7 +765,8 @@ std::vector<std::pair<vertex_id, uint32_t>> blocked_ett::fetch_tree(
 }
 
 std::vector<vertex_id> blocked_ett::component_vertices(vertex_id v) const {
-  block* b0 = vloc_[v].load(std::memory_order_relaxed);
+  vslot* s = slot(v);
+  block* b0 = s == nullptr ? nullptr : s->vloc.load(std::memory_order_relaxed);
   if (b0 == nullptr) return {v};
   tour* t = b0->owner.load(std::memory_order_relaxed);
   std::vector<vertex_id> out;
@@ -728,14 +784,11 @@ std::vector<vertex_id> blocked_ett::component_vertices(vertex_id v) const {
 
 void blocked_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
                                        void* ctx) const {
-  // A singleton's representative is its own counter slot (&own_[v]);
-  // recover the vertex by position. Every other representative is a tour
-  // descriptor: stream its packed block chain.
-  const auto addr = reinterpret_cast<uintptr_t>(r);
-  const auto lo = reinterpret_cast<uintptr_t>(own_.data());
-  const auto hi = reinterpret_cast<uintptr_t>(own_.data() + own_.size());
-  if (addr >= lo && addr < hi) {
-    fn(ctx, static_cast<vertex_id>((addr - lo) / sizeof(ett_counts)));
+  // A tourless vertex reps as the tagged singleton value; decode it.
+  // Every other representative is a tour descriptor: stream its packed
+  // block chain.
+  if (is_singleton_rep(r)) {
+    fn(ctx, singleton_rep_vertex(r));
     return;
   }
   const tour* t = static_cast<const tour*>(r);
@@ -754,12 +807,26 @@ void blocked_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
 // ---------------------------------------------------------------------
 
 std::string blocked_ett::check_consistency() const {
+  // Directory invariants first: chunk occupancy bookkeeping, then the
+  // activation contract — a slot exists iff some level-i edge still
+  // touches its vertex (a tourless slot with zero edge counters is an
+  // activation leak: maybe_release_slot should have reclaimed it).
+  if (std::string err = dir_.check_consistency(); !err.empty()) return err;
+  std::vector<std::pair<vertex_id, const vslot*>> active;
+  active.reserve(dir_.active_count());
+  dir_.for_each_active(
+      [&](vertex_id v, const vslot& s) { active.emplace_back(v, &s); });
+
   std::unordered_set<const tour*> seen;
   size_t reachable_arcs = 0;
-  for (vertex_id v = 0; v < own_.size(); ++v) {
-    if (own_[v].vertices != 1) return "per-vertex counter lost its vertex";
-    block* b0 = vloc_[v].load(std::memory_order_relaxed);
-    if (b0 == nullptr) continue;  // singleton
+  for (auto [v, s] : active) {
+    if (s->own.vertices != 1) return "per-vertex counter lost its vertex";
+    block* b0 = s->vloc.load(std::memory_order_relaxed);
+    if (b0 == nullptr) {
+      if (s->own.tree_edges == 0 && s->own.nontree_edges == 0)
+        return "activation leak: tourless slot with zero edge counters";
+      continue;  // singleton with non-tree edges only
+    }
     const tour* t = b0->owner.load(std::memory_order_relaxed);
     if (t == nullptr) return "block without owner";
     if (!seen.insert(t).second) continue;
@@ -781,7 +848,11 @@ std::string blocked_ett::check_consistency() const {
       ett_counts agg{};
       for (uint32_t i = 0; i < cur->count; ++i) {
         uint64_t tag = cur->tags[i];
-        if (!is_arc_tag(tag)) agg = agg + own_[static_cast<vertex_id>(tag)];
+        if (!is_arc_tag(tag)) {
+          const vslot* st = slot(static_cast<vertex_id>(tag));
+          if (st == nullptr) return "tour sentinel for an inactive vertex";
+          agg = agg + st->own;
+        }
         tags.push_back(tag);
       }
       if (!(agg == cur->agg)) return "block aggregate mismatch";
@@ -819,8 +890,8 @@ std::string blocked_ett::check_consistency() const {
       }
       if (!is_arc_tag(tag)) {
         vertex_id x = static_cast<vertex_id>(tag);
-        if (x >= own_.size()) return "sentinel for an unknown vertex";
-        // Registration is checked block-by-block below via vloc_.
+        if (x >= n_) return "sentinel for an unknown vertex";
+        // Registration is checked block-by-block below via the slots.
         continue;
       }
       ++reachable_arcs;
@@ -828,13 +899,13 @@ std::string blocked_ett::check_consistency() const {
       const arc_loc* loc = arcs_.find(edge_key(e.canonical()));
       if (loc == nullptr) return "arc entry for an unregistered edge";
     }
-    // vloc_ registration: each sentinel's registered block contains it.
+    // Slot registration: each sentinel's registered block contains it.
     for (const block* cur = start;;) {
       for (uint32_t i = 0; i < cur->count; ++i) {
         uint64_t tag = cur->tags[i];
         if (is_arc_tag(tag)) continue;
-        if (vloc_[static_cast<vertex_id>(tag)].load(
-                std::memory_order_relaxed) != cur)
+        const vslot* st = slot(static_cast<vertex_id>(tag));
+        if (st == nullptr || st->vloc.load(std::memory_order_relaxed) != cur)
           return "sentinel registered in the wrong block";
       }
       cur = cur->next;
@@ -870,11 +941,14 @@ blocked_ett::block_stats blocked_ett::debug_block_stats() const {
   block_stats s;
   s.min_fill = kBlockCap;
   std::unordered_set<const tour*> seen;
-  for (vertex_id v = 0; v < own_.size(); ++v) {
-    block* b0 = vloc_[v].load(std::memory_order_relaxed);
-    if (b0 == nullptr) continue;
+  std::vector<const tour*> tours;
+  dir_.for_each_active([&](vertex_id, const vslot& vs) {
+    block* b0 = vs.vloc.load(std::memory_order_relaxed);
+    if (b0 == nullptr) return;
     const tour* t = b0->owner.load(std::memory_order_relaxed);
-    if (!seen.insert(t).second) continue;
+    if (seen.insert(t).second) tours.push_back(t);
+  });
+  for (const tour* t : tours) {
     ++s.tours;
     const block* start = t->head;
     for (const block* cur = start;;) {

@@ -53,6 +53,7 @@
 
 #include "ett/ett_substrate.hpp"
 #include "ett/link_partition.hpp"
+#include "ett/vertex_directory.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "util/node_pool.hpp"
 #include "util/types.hpp"
@@ -74,7 +75,7 @@ class blocked_ett final : public ett_substrate {
   blocked_ett(const blocked_ett&) = delete;
   blocked_ett& operator=(const blocked_ett&) = delete;
 
-  [[nodiscard]] size_t num_vertices() const override { return own_.size(); }
+  [[nodiscard]] size_t num_vertices() const override { return n_; }
   [[nodiscard]] size_t num_edges() const override { return arcs_.size(); }
 
   void batch_link(std::span<const edge> links) override;
@@ -119,17 +120,24 @@ class blocked_ett final : public ett_substrate {
   size_t trim_pool(size_t keep_bytes = 0) override {
     return pool_.trim(keep_bytes);
   }
+  [[nodiscard]] uint64_t active_vertices() const override {
+    return dir_.active_count();
+  }
+  [[nodiscard]] size_t directory_bytes() const override {
+    return dir_.resident_bytes();
+  }
 
-  // Epoch-snapshot read contract (see ett_substrate): the two reader-
-  // visible pointer maps — vloc_ (vertex -> block) and block::owner
-  // (block -> tour descriptor) — are atomics; every writer-side update
-  // is a release store and every concurrent-read load is an acquire, so
-  // connected_relaxed is a torn-free two-load probe usable WHILE a
-  // mutation batch runs (the caller must still seqlock-validate: an
-  // answer that overlapped a batch can mix pre- and post-batch paths).
-  // With epochs bound, freed blocks and tour descriptors park in the
-  // pool's limbo instead of being recycled, which is what makes the
-  // probe's dereference of a just-unlinked block safe and rules out
+  // Epoch-snapshot read contract (see ett_substrate): the reader-visible
+  // pointer chain — directory chunk (vertex -> slot), slot vloc (vertex
+  // -> block) and block::owner (block -> tour descriptor) — is all
+  // atomics; every writer-side update is a release store and every
+  // concurrent-read load is an acquire, so connected_relaxed is a
+  // torn-free probe usable WHILE a mutation batch runs (the caller must
+  // still seqlock-validate: an answer that overlapped a batch can mix
+  // pre- and post-batch paths). With epochs bound, freed blocks, tour
+  // descriptors AND directory chunks park in the pool's limbo instead of
+  // being recycled, which is what makes the probe's dereference of a
+  // just-unlinked block or just-swept chunk safe and rules out
   // descriptor-address ABA within a pinned epoch.
   [[nodiscard]] bool supports_relaxed_reads() const override { return true; }
   [[nodiscard]] std::optional<bool> connected_relaxed(
@@ -152,6 +160,17 @@ class blocked_ett final : public ett_substrate {
  private:
   struct tour;
   struct block;
+  /// Per-ACTIVE-vertex state, held in the sparse directory: the vertex's
+  /// HDT counters (vertices == 1) and the block holding its sentinel
+  /// (null while the vertex has no incident tree edge at this level).
+  /// vloc is atomic (release-published) for the concurrent-read probe;
+  /// writer-side code reads it relaxed (phase-exclusive). Slot addresses
+  /// are stable for the lifetime of their chunk (vertex_directory never
+  /// moves slots).
+  struct vslot {
+    ett_counts own;
+    std::atomic<block*> vloc{nullptr};
+  };
   /// Fixed-capacity block list for per-splice seam bookkeeping (one
   /// splice creates a bounded number of seam blocks, so rebalance
   /// candidates and merge-freed blocks never exceed the inline
@@ -169,6 +188,16 @@ class blocked_ett final : public ett_substrate {
   tour* new_tour();
   void free_block(block* b);
   void free_tour(tour* t);
+
+  /// The directory slot of an active vertex (nullptr when inactive).
+  [[nodiscard]] vslot* slot(vertex_id v) const { return dir_.find(v); }
+  /// Activates v on first touch ({1,0,0} counters, no tour).
+  vslot& ensure_slot(vertex_id v);
+  /// Counters of a vertex known to be in a tour (slot must exist).
+  [[nodiscard]] const ett_counts& own_of(vertex_id v) const;
+  /// Reclaims v's slot when its last level-i edge has left (no tour, no
+  /// counters). Call only from mutation phases, on v's own partition.
+  void maybe_release_slot(vertex_id v, vslot& s);
 
   [[nodiscard]] tour* tour_of(vertex_id v) const;
   /// Materializes singleton v as a one-entry, one-block tour.
@@ -221,15 +250,13 @@ class blocked_ett final : public ett_substrate {
   };
   mutation_scratch scratch_;
 
-  std::vector<ett_counts> own_;   // per-vertex counters (vertices == 1);
-                                  // &own_[v] doubles as the singleton rep
-  std::vector<std::atomic<block*>> vloc_;  // block holding v's sentinel;
-                                  // null when v is a singleton component.
-                                  // Atomic (release-published) for the
-                                  // concurrent-read probe; writer-side
-                                  // code reads it relaxed (phase-exclusive)
+  vertex_id n_;
   phase_concurrent_map<arc_loc> arcs_;  // per canonical tree edge
-  node_pool pool_;
+  node_pool pool_;  // declared before dir_: chunks are pool storage
+  // Sparse per-vertex state: a vertex holds a slot only while an edge at
+  // this level touches it; tourless vertices rep as singleton_rep(v), so
+  // activation/deactivation never moves a representative.
+  vertex_directory<vslot> dir_;
 };
 
 }  // namespace bdc

@@ -192,6 +192,14 @@ class ett_forest {
   size_t trim_pool(size_t keep_bytes = 0) {
     return owner_->trim_pool(keep_bytes);
   }
+  /// Vertices currently holding a sparse-directory slot in this forest.
+  [[nodiscard]] uint64_t active_vertices() const {
+    return owner_->active_vertices();
+  }
+  /// Bytes retained by this forest's per-vertex directory.
+  [[nodiscard]] size_t directory_bytes() const {
+    return owner_->directory_bytes();
+  }
 
   // Read-side snapshot contract (see ett_substrate). connected_relaxed
   // goes through the pinned dispatch view like every other hot-path

@@ -68,6 +68,26 @@ class ett_substrate {
   /// the same tree. Invalidated by any subsequent batch_link/batch_cut.
   using rep = const void*;
 
+  // ------------------------------------------------------------------
+  // Tagged singleton representatives. A vertex with no incident tree arc
+  // at this level (its tour is a lone sentinel) reps as the odd value
+  // (v << 1) | 1 — never a valid node address — in EVERY substrate. This
+  // makes the rep independent of whether the vertex currently holds a
+  // directory slot: activation/deactivation (which batch_add_counts may
+  // perform) never changes any rep, preserving the contract above that
+  // only batch_link/batch_cut invalidate representatives.
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] static rep singleton_rep(vertex_id v) {
+    return reinterpret_cast<rep>((static_cast<uintptr_t>(v) << 1) | 1u);
+  }
+  [[nodiscard]] static bool is_singleton_rep(rep r) {
+    return (reinterpret_cast<uintptr_t>(r) & 1u) != 0;
+  }
+  [[nodiscard]] static vertex_id singleton_rep_vertex(rep r) {
+    return static_cast<vertex_id>(reinterpret_cast<uintptr_t>(r) >> 1);
+  }
+
   /// Adds (tree_delta, nontree_delta) to a vertex's incident-edge counters.
   struct count_delta {
     vertex_id v;
@@ -166,6 +186,13 @@ class ett_substrate {
   [[nodiscard]] virtual node_pool::stats_snapshot pool_stats() const {
     return {};
   }
+  /// Vertices currently holding a slot in this forest's sparse vertex
+  /// directory (activated by an edge touch at this level and not yet
+  /// reclaimed). Safe anytime (atomic counter).
+  [[nodiscard]] virtual uint64_t active_vertices() const = 0;
+  /// Bytes retained by the per-vertex directory (root table + chunks);
+  /// excludes tour nodes, which pool_stats() accounts for. Safe anytime.
+  [[nodiscard]] virtual size_t directory_bytes() const = 0;
   /// Releases retained pool memory where safe (see node_pool::trim),
   /// keeping up to `keep_bytes` of blocks as spares for the next burst;
   /// returns the number of bytes returned to the OS.

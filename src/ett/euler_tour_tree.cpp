@@ -48,12 +48,28 @@ uint64_t ptr_key(const void* p) {
 }  // namespace
 
 euler_tour_forest::euler_tour_forest(vertex_id n, uint64_t seed)
-    : list_(seed), vertex_nodes_(n), edge_map_(64) {
+    : n_(n), list_(seed), dir_(n, list_.pool()), edge_map_(64) {
   assert(n < (vertex_id{1} << 31));
-  parallel_for(0, n, [&](size_t v) {
-    vertex_nodes_[v] = list_.create_node(
-        vertex_tag(static_cast<vertex_id>(v)), ett_counts{1, 0, 0});
-  });
+  // Construction is O(n / kSpan) (the directory root table), not O(n):
+  // tour nodes are created on first edge touch (ensure_vertex) and
+  // reclaimed when a vertex's last level-i edge leaves.
+}
+
+euler_tour_forest::node* euler_tour_forest::ensure_vertex(vertex_id v) {
+  if (node* vn = vertex_node(v)) return vn;
+  node* vn = list_.create_node(vertex_tag(v), ett_counts{1, 0, 0});
+  dir_.activate(v, [&](node*& slot) { slot = vn; });
+  return vn;
+}
+
+void euler_tour_forest::maybe_release_vertex(vertex_id v) {
+  node* vn = vertex_node(v);
+  if (vn == nullptr) return;
+  if (vn->next_at(0) != vn) return;  // still in a multi-node tour
+  ett_counts c = list_.value(vn);
+  if (c.tree_edges != 0 || c.nontree_edges != 0) return;
+  dir_.deactivate(v);
+  list_.free_node(vn);
 }
 
 void euler_tour_forest::batch_link(std::span<const edge> links) {
@@ -81,9 +97,11 @@ void euler_tour_forest::batch_link(std::span<const edge> links) {
   size_t g = groups.num_groups();
 
   // Capture each involved vertex's old successor, then open its boundary.
+  // Group keys are distinct vertices, so first-touch activation here is
+  // race-free across workers.
   std::vector<node*> cut_points(g), old_succ(g);
   parallel_for(0, g, [&](size_t j) {
-    node* vn = vertex_nodes_[groups.group_key(j)];
+    node* vn = ensure_vertex(groups.group_key(j));
     cut_points[j] = vn;
     old_succ[j] = vn->next_at(0);
   });
@@ -95,7 +113,7 @@ void euler_tour_forest::batch_link(std::span<const edge> links) {
     uint32_t st = groups.group_starts[j];
     uint32_t sz = static_cast<uint32_t>(groups.group_size(j));
     size_t base = st + j;
-    node* vn = vertex_nodes_[groups.group_key(j)];
+    node* vn = vertex_node(groups.group_key(j));
     joins[base] = {vn, groups.records[st].second.first};
     for (uint32_t i = 0; i < sz; ++i) {
       node* twin = groups.records[st + i].second.second;
@@ -204,6 +222,19 @@ void euler_tour_forest::batch_cut(std::span<const edge> cuts) {
     list_.free_node(en[i].fwd);
     list_.free_node(en[i].rev);
   });
+
+  // Vertices stranded as lone circles with no counters give their slots
+  // back. Endpoints are deduped first: two cuts sharing an endpoint would
+  // otherwise race on the same release.
+  std::vector<vertex_id> touched(2 * k);
+  parallel_for(0, k, [&](size_t i) {
+    touched[2 * i] = cuts[i].u;
+    touched[2 * i + 1] = cuts[i].v;
+  });
+  sort_unique(touched);
+  parallel_for(0, touched.size(),
+               [&](size_t i) { maybe_release_vertex(touched[i]); });
+  dir_.sweep_pending();
 }
 
 void euler_tour_forest::batch_add_counts(
@@ -212,7 +243,9 @@ void euler_tour_forest::batch_add_counts(
   std::vector<node*> dirty(deltas.size());
   parallel_for(0, deltas.size(), [&](size_t i) {
     const count_delta& d = deltas[i];
-    node* vn = vertex_nodes_[d.v];
+    // At most one delta per vertex, so first-touch activation is
+    // race-free across workers.
+    node* vn = ensure_vertex(d.v);
     ett_counts c = list_.value(vn);
     assert(static_cast<int64_t>(c.tree_edges) + d.tree_delta >= 0);
     assert(static_cast<int64_t>(c.nontree_edges) + d.nontree_delta >= 0);
@@ -224,11 +257,18 @@ void euler_tour_forest::batch_add_counts(
     dirty[i] = vn;
   });
   list_.batch_repair(std::move(dirty));
+  // Vertices whose last counter just left (and that sit in no tour)
+  // give their slots back; deltas are per-vertex-unique, so no races.
+  parallel_for(0, deltas.size(),
+               [&](size_t i) { maybe_release_vertex(deltas[i].v); });
+  dir_.sweep_pending();
 }
 
 bool euler_tour_forest::connected(vertex_id u, vertex_id v) const {
-  return list_.representative(vertex_nodes_[u]) ==
-         list_.representative(vertex_nodes_[v]);
+  node* un = vertex_node(u);
+  node* vn = vertex_node(v);
+  if (un == nullptr || vn == nullptr) return u == v;  // inactive: singleton
+  return list_.representative(un) == list_.representative(vn);
 }
 
 std::vector<bool> euler_tour_forest::batch_connected(
@@ -243,7 +283,12 @@ std::vector<bool> euler_tour_forest::batch_connected(
 }
 
 ett_substrate::rep euler_tour_forest::find_rep(vertex_id v) const {
-  return list_.representative(vertex_nodes_[v]);
+  node* vn = vertex_node(v);
+  // Tourless vertices (inactive, or active with non-tree counters only)
+  // take the tagged singleton rep, so batch_add_counts-driven activation
+  // and reclamation never move a representative.
+  if (vn == nullptr || vn->next_at(0) == vn) return singleton_rep(v);
+  return list_.representative(vn);
 }
 
 std::vector<ett_substrate::rep> euler_tour_forest::batch_find_rep(
@@ -254,23 +299,27 @@ std::vector<ett_substrate::rep> euler_tour_forest::batch_find_rep(
 }
 
 ett_counts euler_tour_forest::component_counts(vertex_id v) const {
-  return list_.total(vertex_nodes_[v]);
+  node* vn = vertex_node(v);
+  return vn == nullptr ? ett_counts{1, 0, 0} : list_.total(vn);
 }
 
 ett_counts euler_tour_forest::vertex_counts(vertex_id v) const {
-  return list_.value(vertex_nodes_[v]);
+  node* vn = vertex_node(v);
+  return vn == nullptr ? ett_counts{1, 0, 0} : list_.value(vn);
 }
 
 std::vector<std::pair<vertex_id, uint32_t>> euler_tour_forest::fetch_counted(
     vertex_id v, uint64_t want, bool nontree) const {
+  node* vn = vertex_node(v);
+  if (vn == nullptr) return {};  // inactive singleton: no counters
   std::vector<std::pair<node*, uint64_t>> raw;
   if (nontree) {
     list_.collect_first(
-        vertex_nodes_[v], want,
+        vn, want,
         [](const ett_counts& c) -> uint64_t { return c.nontree_edges; }, raw);
   } else {
     list_.collect_first(
-        vertex_nodes_[v], want,
+        vn, want,
         [](const ett_counts& c) -> uint64_t { return c.tree_edges; }, raw);
   }
   std::vector<std::pair<vertex_id, uint32_t>> out(raw.size());
@@ -294,8 +343,10 @@ std::vector<std::pair<vertex_id, uint32_t>> euler_tour_forest::fetch_tree(
 
 std::vector<vertex_id> euler_tour_forest::component_vertices(
     vertex_id v) const {
+  node* vn = vertex_node(v);
+  if (vn == nullptr) return {v};
   std::vector<vertex_id> out;
-  for (node* n : list_.circle_of(vertex_nodes_[v])) {
+  for (node* n : list_.circle_of(vn)) {
     if (!is_arc_tag(n->tag)) out.push_back(static_cast<vertex_id>(n->tag));
   }
   return out;
@@ -304,8 +355,13 @@ std::vector<vertex_id> euler_tour_forest::component_vertices(
 void euler_tour_forest::for_each_tour_vertex(rep r,
                                              void (*fn)(void*, vertex_id),
                                              void* ctx) const {
-  // The representative is a node of the tour's circle (every node, tall or
-  // not, sits on the level-0 ring); walk that ring.
+  // Tourless vertices carry the tagged singleton rep; decode it.
+  if (is_singleton_rep(r)) {
+    fn(ctx, singleton_rep_vertex(r));
+    return;
+  }
+  // Otherwise the representative is a node of the tour's circle (every
+  // node, tall or not, sits on the level-0 ring); walk that ring.
   const node* start = static_cast<const node*>(r);
   const node* cur = start;
   do {
@@ -315,10 +371,27 @@ void euler_tour_forest::for_each_tour_vertex(rep r,
 }
 
 std::string euler_tour_forest::check_consistency() const {
+  // Directory invariants first: chunk occupancy bookkeeping, then the
+  // activation contract — a slot exists iff some level-i edge still
+  // touches its vertex (a lone circle with zero edge counters is an
+  // activation leak: maybe_release_vertex should have reclaimed it).
+  if (std::string err = dir_.check_consistency(); !err.empty()) return err;
+  std::vector<std::pair<vertex_id, node*>> active;
+  active.reserve(dir_.active_count());
+  dir_.for_each_active(
+      [&](vertex_id v, node* const& vn) { active.emplace_back(v, vn); });
+  for (auto [v, vn] : active) {
+    if (vn->tag != vertex_tag(v)) return "vertex node tag mismatch";
+    ett_counts c = list_.value(vn);
+    if (c.vertices != 1) return "per-vertex counter lost its vertex";
+    if (vn->next_at(0) == vn && c.tree_edges == 0 && c.nontree_edges == 0)
+      return "activation leak: lone circle with zero edge counters";
+  }
+
   // Sequential deep validation: every circle's links, levels, and sums.
   std::unordered_set<const node*> seen;
-  for (size_t v = 0; v < vertex_nodes_.size(); ++v) {
-    node* start = vertex_nodes_[v];
+  for (auto [v, start] : active) {
+    (void)v;
     if (seen.count(start)) continue;
     // Walk the level-0 circle.
     std::vector<node*> circle;
@@ -331,7 +404,7 @@ std::string euler_tour_forest::check_consistency() const {
       if (nx == nullptr || nx->prev_at(0) != cur)
         return "level-0 next/prev mismatch";
       cur = nx;
-      if (circle.size() > 3 * (2 * edge_map_.size() + vertex_nodes_.size()))
+      if (circle.size() > 3 * (2 * edge_map_.size() + active.size()))
         return "level-0 circle does not close";
     } while (cur != start);
     for (node* n : circle) seen.insert(n);

@@ -31,6 +31,7 @@
 #include "ett/ett_counts.hpp"
 #include "ett/ett_sequence.hpp"
 #include "ett/ett_substrate.hpp"
+#include "ett/vertex_directory.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "skiplist/augmented_skiplist.hpp"
 #include "util/types.hpp"
@@ -51,9 +52,7 @@ class euler_tour_forest final : public ett_substrate {
   euler_tour_forest(const euler_tour_forest&) = delete;
   euler_tour_forest& operator=(const euler_tour_forest&) = delete;
 
-  [[nodiscard]] size_t num_vertices() const override {
-    return vertex_nodes_.size();
-  }
+  [[nodiscard]] size_t num_vertices() const override { return n_; }
   [[nodiscard]] size_t num_edges() const override { return edge_map_.size(); }
 
   // ------------------------------------------------------------------
@@ -105,6 +104,12 @@ class euler_tour_forest final : public ett_substrate {
   size_t trim_pool(size_t keep_bytes = 0) override {
     return list_.pool().trim(keep_bytes);
   }
+  [[nodiscard]] uint64_t active_vertices() const override {
+    return dir_.active_count();
+  }
+  [[nodiscard]] size_t directory_bytes() const override {
+    return dir_.resident_bytes();
+  }
 
  private:
   struct edge_nodes {
@@ -112,11 +117,29 @@ class euler_tour_forest final : public ett_substrate {
     node* rev = nullptr;  // the arc (c.v, c.u)
   };
 
+  /// The tour node of an active vertex, or nullptr (never touched by an
+  /// edge at this level, or reclaimed since).
+  [[nodiscard]] node* vertex_node(vertex_id v) const {
+    node* const* p = dir_.find(v);
+    return p == nullptr ? nullptr : *p;
+  }
+  /// Activates v (creating its singleton tour node) on first edge touch.
+  /// Parallel-safe for distinct vertices (create_node is phase-safe).
+  node* ensure_vertex(vertex_id v);
+  /// Reclaims v's node + slot when its last level-i edge has left (lone
+  /// level-0 circle, zero edge counters). Idempotent; mutation phases
+  /// only, distinct vertices per worker.
+  void maybe_release_vertex(vertex_id v);
+
   [[nodiscard]] std::vector<std::pair<vertex_id, uint32_t>> fetch_counted(
       vertex_id v, uint64_t want, bool nontree) const;
 
-  skiplist list_;
-  std::vector<node*> vertex_nodes_;
+  vertex_id n_;
+  skiplist list_;  // declared before dir_: chunks ride the list's pool
+  // Sparse per-vertex state: an active vertex's slot holds its tour node;
+  // tourless vertices rep as singleton_rep(v), so activation/reclamation
+  // never moves a representative.
+  vertex_directory<node*> dir_;
   phase_concurrent_map<edge_nodes> edge_map_;
 };
 

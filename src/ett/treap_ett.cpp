@@ -31,13 +31,10 @@ uint64_t arc_key(vertex_id t, vertex_id h) { return arc_tag(t, h); }
 }  // namespace
 
 treap_ett::treap_ett(vertex_id n, uint64_t seed)
-    : rng_(seed), sentinel_(n), arcs_(64) {
-  for (vertex_id v = 0; v < n; ++v) {
-    sentinel_[v] = make_node(static_cast<uint64_t>(v));
-    sentinel_[v]->own.vertices = 1;
-    update(sentinel_[v]);
-  }
-}
+    : rng_(seed), n_(n), arcs_(64), dir_(n, pool_) {}
+// Construction is O(n / kSpan) (the directory root table), not O(n):
+// sentinels are built on first edge touch (ensure_sentinel) and reclaimed
+// when a vertex's last level-i edge leaves (maybe_release_sentinel).
 
 treap_ett::node* treap_ett::make_node(uint64_t tag) {
   return make_node_with_priority(tag, rng_.ith_rand(counter_++));
@@ -55,6 +52,30 @@ treap_ett::node* treap_ett::make_node_with_priority(uint64_t tag,
 void treap_ett::free_node(node* x) {
   static_assert(std::is_trivially_destructible_v<node>);
   pool_.deallocate(static_cast<void*>(x), sizeof(node));
+}
+
+treap_ett::node* treap_ett::ensure_sentinel_with_priority(vertex_id v,
+                                                          uint64_t priority) {
+  if (node* s = sentinel(v)) return s;
+  node* s = make_node_with_priority(static_cast<uint64_t>(v), priority);
+  s->own.vertices = 1;
+  update(s);
+  dir_.activate(v, [&](node*& slot) { slot = s; });
+  return s;
+}
+
+treap_ett::node* treap_ett::ensure_sentinel(vertex_id v) {
+  if (node* s = sentinel(v)) return s;
+  return ensure_sentinel_with_priority(v, rng_.ith_rand(counter_++));
+}
+
+void treap_ett::maybe_release_sentinel(vertex_id v) {
+  node* s = sentinel(v);
+  if (s == nullptr) return;
+  if (s->parent != nullptr || s->subtree_nodes != 1) return;  // in a tour
+  if (s->own.tree_edges != 0 || s->own.nontree_edges != 0) return;
+  dir_.deactivate(v);
+  free_node(s);
 }
 
 void treap_ett::update(node* x) {
@@ -188,13 +209,16 @@ size_t treap_ett::rank_of(node* x) {
 }
 
 treap_ett::node* treap_ett::reroot(vertex_id v) {
-  node* s = sentinel_[v];
+  node* s = sentinel(v);
+  assert(s != nullptr && "rerooting an inactive vertex");
   auto [before, from] = split_before(s);
   return merge(from, before);
 }
 
 void treap_ett::link(vertex_id u, vertex_id v) {
   assert(!connected(u, v));
+  ensure_sentinel(u);
+  ensure_sentinel(v);
   node* tu = reroot(u);
   node* tv = reroot(v);
   node* uv = make_node(arc_key(u, v));
@@ -227,6 +251,8 @@ void treap_ett::cut(vertex_id u, vertex_id v) {
   (void)m;
   free_node(a);
   free_node(b);
+  maybe_release_sentinel(u);
+  maybe_release_sentinel(v);
 }
 
 // ---------------------------------------------------------------------
@@ -342,24 +368,24 @@ void treap_ett::link_group(const link_group_ctx& ctx) {
         attach.begin(), attach.end(),
         std::pair<uintptr_t, vertex_id>{reinterpret_cast<uintptr_t>(tree), 0});
     size_t size = tree->subtree_nodes;
-    size_t entry_rank = rank_of(sentinel_[entry]);
+    size_t entry_rank = rank_of(sentinel(entry));
     ranked.clear();
     for (auto it = alo;
          it != attach.end() && it->first == reinterpret_cast<uintptr_t>(tree);
          ++it) {
-      size_t r = rank_of(sentinel_[it->second]);
+      size_t r = rank_of(sentinel(it->second));
       ranked.emplace_back((r + size - entry_rank) % size, it->second);
     }
     std::sort(ranked.begin(), ranked.end());
     assert(!ranked.empty() && ranked.front().second == entry);
 
     items.clear();
-    auto [before, from] = split_before(sentinel_[entry]);
+    auto [before, from] = split_before(sentinel(entry));
     node* cur = from;  // rotated tour = from ++ before
     auto peel = [&](vertex_id b) {
       // Peels the leading segment of `cur` ending at b's sentinel, then
       // queues the subtrees hanging off b.
-      auto [seg, rest] = split_after(sentinel_[b]);
+      auto [seg, rest] = split_after(sentinel(b));
       cur = rest;
       if (seg != nullptr) items.push_back({seg, nullptr, 0, 0});
       for (const auto& [vx, i] : adj_slice(b)) {
@@ -396,14 +422,33 @@ void treap_ett::batch_link(std::span<const edge> links) {
     return;
   }
 
+  // Phase 0 (parallel): activate every endpoint that has no sentinel yet
+  // — the phases below walk and split from sentinel nodes, so they must
+  // exist before any tour is touched. Distinct vertices only (sort +
+  // dedup), so activations never race; priorities come from a counter
+  // range reserved up front, keeping the structure deterministic.
+  auto& endpoints = scratch_.endpoints;
+  endpoints.resize(2 * k);
+  parallel_for(0, k, [&](size_t i) {
+    endpoints[2 * i] = links[i].u;
+    endpoints[2 * i + 1] = links[i].v;
+  });
+  sort_unique(endpoints);
+  uint64_t sentinel_base = counter_;
+  counter_ += endpoints.size();
+  parallel_for(0, endpoints.size(), [&](size_t i) {
+    ensure_sentinel_with_priority(endpoints[i],
+                                  rng_.ith_rand(sentinel_base + i));
+  });
+
   // Phase 1 (read-only, parallel): resolve each endpoint's tour root.
   auto& root_u = scratch_.root_u;
   auto& root_v = scratch_.root_v;
   root_u.resize(k);
   root_v.resize(k);
   parallel_for(0, k, [&](size_t i) {
-    root_u[i] = root_of(sentinel_[links[i].u]);
-    root_v[i] = root_of(sentinel_[links[i].v]);
+    root_u[i] = root_of(sentinel(links[i].u));
+    root_v[i] = root_of(sentinel(links[i].v));
   });
 
   // Phase 2 (parallel): make both arc nodes per link — priorities come from
@@ -479,6 +524,13 @@ void treap_ett::cut_tree(std::span<cut_mark> marks) {
       marks.begin(), marks.end(),
       [](const cut_mark& a, const cut_mark& b) { return a.rank < b.rank; });
   size_t m = marks.size();
+  // Cut endpoints, recovered from the arc tags before the nodes are freed:
+  // each may end up a lone sentinel and give its slot back (the release is
+  // idempotent, so the duplicate mentions across a cut's two arcs are
+  // harmless). This group owns every tour those vertices can land in, so
+  // the releases below stay within the group's partition.
+  std::vector<vertex_id> touched(m);
+  for (size_t j = 0; j < m; ++j) touched[j] = arc_tag_tail(marks[j].arc->tag);
   if (m == 2) {
     // One cut: tour = S0 a S1 b S2  ->  trees (S0 S2) and (S1).
     assert(marks[0].cut == marks[1].cut);
@@ -495,6 +547,7 @@ void treap_ett::cut_tree(std::span<cut_mark> marks) {
     merge(s0, s2);
     free_node(marks[0].arc);
     free_node(marks[1].arc);
+    for (vertex_id v : touched) maybe_release_sentinel(v);
     return;
   }
 
@@ -550,12 +603,14 @@ void treap_ett::cut_tree(std::span<cut_mark> marks) {
                                         flat.data() + offsets[t + 1]});
       },
       1);
+  for (vertex_id v : touched) maybe_release_sentinel(v);
 }
 
 void treap_ett::batch_cut(std::span<const edge> cuts) {
   size_t c = cuts.size();
   if (c < kParallelMutationCutoff || num_workers() <= 1) {
     for (const edge& e : cuts) cut(e.u, e.v);
+    dir_.sweep_pending();
     return;
   }
 
@@ -600,6 +655,7 @@ void treap_ett::batch_cut(std::span<const edge> cuts) {
         cut_tree(tree_marks);
       },
       1);
+  dir_.sweep_pending();
 }
 
 void treap_ett::batch_add_counts(std::span<const count_delta> deltas) {
@@ -607,15 +663,25 @@ void treap_ett::batch_add_counts(std::span<const count_delta> deltas) {
   if (k < kParallelMutationCutoff || num_workers() <= 1) {
     for (const count_delta& d : deltas)
       add_counts(d.v, d.tree_delta, d.nontree_delta);
+    dir_.sweep_pending();
     return;
   }
+  // Phase 0 (parallel): activate vertices that gain their first level-i
+  // counter here (at most one delta per vertex, so no activation races;
+  // priorities from a reserved counter range, as in batch_link).
+  uint64_t sentinel_base = counter_;
+  counter_ += k;
+  parallel_for(0, k, [&](size_t i) {
+    ensure_sentinel_with_priority(deltas[i].v,
+                                  rng_.ith_rand(sentinel_base + i));
+  });
   // Root-path updates of vertices in one tour overlap near the root, so
   // grouping by tour gives the safe parallelism: disjoint tours update
   // concurrently, entries within a tour stay sequential.
   std::vector<std::pair<uint64_t, uint32_t>> keyed(k);
   parallel_for(0, k, [&](size_t i) {
     keyed[i] = {static_cast<uint64_t>(
-                    reinterpret_cast<uintptr_t>(root_of(sentinel_[deltas[i].v]))),
+                    reinterpret_cast<uintptr_t>(root_of(sentinel(deltas[i].v)))),
                 static_cast<uint32_t>(i)};
   });
   auto groups = group_by_key(std::move(keyed));
@@ -629,10 +695,14 @@ void treap_ett::batch_add_counts(std::span<const count_delta> deltas) {
         }
       },
       1);
+  dir_.sweep_pending();
 }
 
 bool treap_ett::connected(vertex_id u, vertex_id v) const {
-  return root_of(sentinel_[u]) == root_of(sentinel_[v]);
+  node* su = sentinel(u);
+  node* sv = sentinel(v);
+  if (su == nullptr || sv == nullptr) return u == v;  // inactive: singleton
+  return root_of(su) == root_of(sv);
 }
 
 std::vector<bool> treap_ett::batch_connected(
@@ -646,7 +716,13 @@ std::vector<bool> treap_ett::batch_connected(
 }
 
 ett_substrate::rep treap_ett::find_rep(vertex_id v) const {
-  return root_of(sentinel_[v]);
+  node* s = sentinel(v);
+  // Tourless vertices (inactive, or active with non-tree counters only)
+  // take the tagged singleton rep, so batch_add_counts-driven activation
+  // and reclamation never move a representative.
+  if (s == nullptr || (s->parent == nullptr && s->subtree_nodes == 1))
+    return singleton_rep(v);
+  return root_of(s);
 }
 
 std::vector<ett_substrate::rep> treap_ett::batch_find_rep(
@@ -657,16 +733,18 @@ std::vector<ett_substrate::rep> treap_ett::batch_find_rep(
 }
 
 ett_counts treap_ett::component_counts(vertex_id v) const {
-  return root_of(sentinel_[v])->agg;
+  node* s = sentinel(v);
+  return s == nullptr ? ett_counts{1, 0, 0} : root_of(s)->agg;
 }
 
 ett_counts treap_ett::vertex_counts(vertex_id v) const {
-  return sentinel_[v]->own;
+  node* s = sentinel(v);
+  return s == nullptr ? ett_counts{1, 0, 0} : s->own;
 }
 
 void treap_ett::add_counts(vertex_id v, int32_t tree_delta,
                            int32_t nontree_delta) {
-  node* s = sentinel_[v];
+  node* s = ensure_sentinel(v);
   assert(static_cast<int64_t>(s->own.tree_edges) + tree_delta >= 0);
   assert(static_cast<int64_t>(s->own.nontree_edges) + nontree_delta >= 0);
   s->own.tree_edges =
@@ -676,10 +754,13 @@ void treap_ett::add_counts(vertex_id v, int32_t tree_delta,
       static_cast<uint32_t>(static_cast<int64_t>(s->own.nontree_edges) +
                             nontree_delta);
   for (node* x = s; x != nullptr; x = x->parent) update(x);
+  maybe_release_sentinel(v);  // last counter gone and no tour: free the slot
 }
 
 vertex_id treap_ett::find_tree_slot(vertex_id v) const {
-  node* root = root_of(sentinel_[v]);
+  node* s = sentinel(v);
+  if (s == nullptr) return kNoVertex;
+  node* root = root_of(s);
   if (root->agg.tree_edges == 0) return kNoVertex;
   node* cur = root;
   while (true) {
@@ -694,7 +775,9 @@ vertex_id treap_ett::find_tree_slot(vertex_id v) const {
 }
 
 vertex_id treap_ett::find_nontree_slot(vertex_id v) const {
-  node* root = root_of(sentinel_[v]);
+  node* s = sentinel(v);
+  if (s == nullptr) return kNoVertex;
+  node* root = root_of(s);
   if (root->agg.nontree_edges == 0) return kNoVertex;
   node* cur = root;
   while (true) {
@@ -712,10 +795,12 @@ std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_counted(
     vertex_id v, uint64_t want, bool nontree) const {
   std::vector<std::pair<vertex_id, uint32_t>> out;
   if (want == 0) return out;
+  node* s = sentinel(v);
+  if (s == nullptr) return out;  // inactive singleton: no counters
   // In-order (= tour-order) descent pruned by the subtree aggregates, so
   // the walk touches O(result * lg n) nodes, matching the skip-list
   // substrate's collect_first contract.
-  std::vector<std::pair<node*, bool>> stack{{root_of(sentinel_[v]), false}};
+  std::vector<std::pair<node*, bool>> stack{{root_of(s), false}};
   uint64_t left = want;
   while (!stack.empty() && left > 0) {
     auto [x, expanded] = stack.back();
@@ -748,9 +833,11 @@ std::vector<std::pair<vertex_id, uint32_t>> treap_ett::fetch_tree(
 }
 
 std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
+  node* s = sentinel(v);
+  if (s == nullptr) return {v};
   std::vector<vertex_id> out;
   // Iterative in-order walk from the root.
-  std::vector<std::pair<node*, bool>> stack{{root_of(sentinel_[v]), false}};
+  std::vector<std::pair<node*, bool>> stack{{root_of(s), false}};
   while (!stack.empty()) {
     auto [x, expanded] = stack.back();
     stack.pop_back();
@@ -769,7 +856,13 @@ std::vector<vertex_id> treap_ett::component_vertices(vertex_id v) const {
 
 void treap_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
                                      void* ctx) const {
-  // The representative IS the treap root; in-order walk emits the tour.
+  // Tourless vertices carry the tagged singleton rep; decode it.
+  if (is_singleton_rep(r)) {
+    fn(ctx, singleton_rep_vertex(r));
+    return;
+  }
+  // Otherwise the representative IS the treap root; in-order walk emits
+  // the tour.
   std::vector<std::pair<const node*, bool>> stack{
       {static_cast<const node*>(r), false}};
   while (!stack.empty()) {
@@ -787,12 +880,30 @@ void treap_ett::for_each_tour_vertex(rep r, void (*fn)(void*, vertex_id),
 }
 
 std::string treap_ett::check_consistency() const {
+  // Directory invariants first: chunk occupancy bookkeeping, then the
+  // activation contract — a slot exists iff some level-i edge still
+  // touches its vertex (a lone sentinel with zero edge counters is an
+  // activation leak: maybe_release_sentinel should have reclaimed it).
+  if (std::string err = dir_.check_consistency(); !err.empty()) return err;
+  std::vector<std::pair<vertex_id, node*>> active;
+  active.reserve(dir_.active_count());
+  dir_.for_each_active(
+      [&](vertex_id v, node* const& s) { active.emplace_back(v, s); });
+  for (auto [v, s] : active) {
+    if (s->tag != static_cast<uint64_t>(v)) return "sentinel tag mismatch";
+    if (s->own.vertices != 1) return "per-vertex counter lost its vertex";
+    if (s->parent == nullptr && s->subtree_nodes == 1 &&
+        s->own.tree_edges == 0 && s->own.nontree_edges == 0)
+      return "activation leak: lone sentinel with zero edge counters";
+  }
+
   // Vertex at which the tour enters (head) / leaves (tail) a node.
   auto tail_of = [](const node* x) { return tag_tail(x->tag); };
   auto head_of = [](const node* x) { return tag_head(x->tag); };
   // Validate every treap reachable from a sentinel.
   std::unordered_map<node*, bool> seen_root;
-  for (node* s : sentinel_) {
+  for (auto [v, s] : active) {
+    (void)v;
     node* root = root_of(s);
     if (seen_root.count(root)) continue;
     seen_root[root] = true;
@@ -862,8 +973,8 @@ std::string treap_ett::check_consistency() const {
         return msg;
       }
       if (!is_arc_tag(x->tag)) {
-        if (x->tag >= sentinel_.size() ||
-            sentinel_[static_cast<size_t>(x->tag)] != x)
+        if (x->tag >= n_ ||
+            sentinel(static_cast<vertex_id>(x->tag)) != x)
           return "sentinel identity mismatch";
       } else {
         if (x->own.vertices != 0 || x->own.tree_edges != 0 ||

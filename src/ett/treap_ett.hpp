@@ -56,6 +56,7 @@
 
 #include "ett/ett_substrate.hpp"
 #include "ett/link_partition.hpp"
+#include "ett/vertex_directory.hpp"
 #include "hashtable/phase_concurrent_map.hpp"
 #include "util/node_pool.hpp"
 #include "util/random.hpp"
@@ -73,9 +74,7 @@ class treap_ett final : public ett_substrate {
   treap_ett(const treap_ett&) = delete;
   treap_ett& operator=(const treap_ett&) = delete;
 
-  [[nodiscard]] size_t num_vertices() const override {
-    return sentinel_.size();
-  }
+  [[nodiscard]] size_t num_vertices() const override { return n_; }
   [[nodiscard]] size_t num_edges() const override { return arcs_.size(); }
 
   // ------------------------------------------------------------------
@@ -145,6 +144,12 @@ class treap_ett final : public ett_substrate {
   size_t trim_pool(size_t keep_bytes = 0) override {
     return pool_.trim(keep_bytes);
   }
+  [[nodiscard]] uint64_t active_vertices() const override {
+    return dir_.active_count();
+  }
+  [[nodiscard]] size_t directory_bytes() const override {
+    return dir_.resident_bytes();
+  }
 
  private:
   struct node;
@@ -159,6 +164,24 @@ class treap_ett final : public ett_substrate {
   /// never touch the shared counter).
   node* make_node_with_priority(uint64_t tag, uint64_t priority);
   void free_node(node* x);
+
+  /// The sentinel node of an active vertex, or nullptr (never touched by
+  /// an edge at this level, or reclaimed since).
+  [[nodiscard]] node* sentinel(vertex_id v) const {
+    node* const* p = dir_.find(v);
+    return p == nullptr ? nullptr : *p;
+  }
+  /// Activates v (building its lone sentinel) on first edge touch.
+  /// Sequential-path variant: draws its priority from the shared counter.
+  node* ensure_sentinel(vertex_id v);
+  /// Parallel-phase variant: the caller reserves a counter range up front
+  /// and passes the drawn priority (distinct vertices only, per the batch
+  /// partition contract).
+  node* ensure_sentinel_with_priority(vertex_id v, uint64_t priority);
+  /// Reclaims v's sentinel + slot when its last level-i edge has left
+  /// (lone treap root, zero edge counters). Idempotent; call only from
+  /// mutation phases, on v's own partition.
+  void maybe_release_sentinel(vertex_id v);
   static void update(node* x);
   [[nodiscard]] static node* root_of(node* x);
   /// Merges two treap sequences (all of a before all of b).
@@ -197,14 +220,19 @@ class treap_ett final : public ett_substrate {
     link_partition_scratch<node*> part;
     std::vector<arc_nodes> arcs;
     std::vector<uint64_t> keys;
+    std::vector<vertex_id> endpoints;
   };
   mutation_scratch scratch_;
 
   random rng_;
   uint64_t counter_ = 0;
-  std::vector<node*> sentinel_;          // (v,v) node per vertex
+  vertex_id n_;
   phase_concurrent_map<arc_nodes> arcs_; // per canonical edge
-  node_pool pool_;
+  node_pool pool_;  // declared before dir_: chunks are pool storage
+  // Sparse per-vertex state: an active vertex's slot holds its (v,v)
+  // sentinel node; tourless vertices rep as singleton_rep(v), so
+  // activation/deactivation never moves a representative.
+  vertex_directory<node*> dir_;
 };
 
 }  // namespace bdc

@@ -1,6 +1,8 @@
 #include "gen/update_stream.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/random.hpp"
 
@@ -167,6 +169,82 @@ update_stream make_phase_skewed_stream(const std::vector<edge>& graph,
                {alive.begin() + static_cast<ptrdiff_t>(lo),
                 alive.begin() + static_cast<ptrdiff_t>(hi)});
     push_queries(16);
+  }
+  push_queries(64);
+  return stream;
+}
+
+update_stream make_hub_churn_stream(const std::vector<edge>& graph,
+                                    vertex_id n, size_t batch,
+                                    size_t rounds, uint64_t seed) {
+  batch = std::max<size_t>(1, batch);
+
+  // Degree census -> hubs. Sorting by (degree desc, id asc) makes the
+  // hub choice independent of the census container's iteration order.
+  std::unordered_map<vertex_id, uint32_t> degree;
+  for (const edge& e : graph) {
+    degree[e.u]++;
+    degree[e.v]++;
+  }
+  std::vector<std::pair<uint32_t, vertex_id>> by_degree;
+  by_degree.reserve(degree.size());
+  for (const auto& [v, d] : degree) by_degree.push_back({d, v});
+  std::sort(by_degree.begin(), by_degree.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  std::unordered_set<vertex_id> hubs;
+  for (size_t i = 0; i < by_degree.size() && hubs.size() < 16; ++i)
+    hubs.insert(by_degree[i].second);
+
+  std::vector<edge> hub_edges;
+  for (const edge& e : graph)
+    if (hubs.contains(e.u) || hubs.contains(e.v)) hub_edges.push_back(e);
+
+  update_stream stream;
+  uint64_t qseed = hash64(seed + 0x4b);
+  auto push_queries = [&](size_t k) {
+    update_batch q;
+    q.op = update_batch::kind::query;
+    q.queries = make_query_batch(n, k, qseed++);
+    stream.push_back(std::move(q));
+  };
+  auto push_edges = [&](update_batch::kind op,
+                        const std::vector<edge>& es, size_t lo, size_t hi) {
+    if (lo >= hi) return;
+    update_batch b;
+    b.op = op;
+    b.edges.assign(es.begin() + static_cast<ptrdiff_t>(lo),
+                   es.begin() + static_cast<ptrdiff_t>(hi));
+    stream.push_back(std::move(b));
+  };
+
+  // Insert ramp over the whole base graph.
+  std::vector<edge> es = graph;
+  shuffle_edges(es, seed);
+  size_t ramp_batches = 0;
+  for (size_t lo = 0; lo < es.size(); lo += batch) {
+    push_edges(update_batch::kind::insert, es, lo,
+               std::min(es.size(), lo + batch));
+    if (++ramp_batches % 2 == 0) push_queries(16);
+  }
+
+  // Churn rounds: delete every hub-incident edge in bursts, then put
+  // them back, querying between bursts (the monitoring reads that
+  // accompany real churn).
+  for (size_t round = 0; round < rounds; ++round) {
+    shuffle_edges(hub_edges, hash64(seed + 0xc11 + round));
+    for (size_t lo = 0; lo < hub_edges.size(); lo += batch) {
+      push_edges(update_batch::kind::erase, hub_edges, lo,
+                 std::min(hub_edges.size(), lo + batch));
+      push_queries(16);
+    }
+    for (size_t lo = 0; lo < hub_edges.size(); lo += batch) {
+      push_edges(update_batch::kind::insert, hub_edges, lo,
+                 std::min(hub_edges.size(), lo + batch));
+      push_queries(16);
+    }
   }
   push_queries(64);
   return stream;

@@ -55,6 +55,21 @@ update_stream make_phase_skewed_stream(const std::vector<edge>& graph,
                                        size_t flood_batches,
                                        size_t flood_queries, uint64_t seed);
 
+/// A hub-churn trace (the sparse-activation stress workload): rank the
+/// base graph's vertices by degree, call the top 16 "hubs" (the skewed
+/// head of an RMAT / power-law base), and after an insert ramp of the
+/// whole graph run `rounds` rounds that delete every hub-incident edge
+/// in bursts of `batch` and then re-insert them, with small query
+/// batches interleaved. Each burst forces replacement searches around
+/// the hubs, so edges sink levels and the touched vertex set per level
+/// stays concentrated near the hubs — on a vertex space of n >> touched
+/// ids this is the workload where O(active) per-level memory beats the
+/// dense O(n)-per-level layout by the widest margin. Deterministic in
+/// `seed`.
+update_stream make_hub_churn_stream(const std::vector<edge>& graph,
+                                    vertex_id n, size_t batch,
+                                    size_t rounds, uint64_t seed);
+
 /// Uniform random query batches.
 std::vector<std::pair<vertex_id, vertex_id>> make_query_batch(
     vertex_id n, size_t k, uint64_t seed);

@@ -212,6 +212,96 @@ TEST_P(BlockedRelaxedReads, SeqlockValidatedProbesMatchSomeBoundary) {
   ett.bind_read_epochs(nullptr);
 }
 
+// Sparse-directory growth regression: every round links a path through a
+// FRESH id region — installing new vertex-directory chunks under the
+// readers' feet — and cuts the path two regions back, draining emptied
+// chunks through the epoch limbo. Readers probe connected_relaxed across
+// the WHOLE id space the entire time, so most probes hit inactive ids:
+// the relaxed probe's slot lookup must miss cleanly (and validated
+// answers must stay oracle-exact) no matter how the chunk table is
+// growing or shrinking. Dense per-vertex arrays made this trivially
+// race-free; this pins the property for the chunked directory under TSan.
+TEST_P(BlockedRelaxedReads, ProbesStayValidAcrossDirectoryGrowth) {
+  testing::worker_pool_guard pool(GetParam());
+  const size_t rounds = conc_rounds();
+  const size_t readers = conc_readers();
+  // A region spans several 32-slot chunks of blocked_ett's directory.
+  constexpr vertex_id kRegion = 96;
+  const auto n = static_cast<vertex_id>((rounds + 1) * kRegion);
+
+  epoch_manager em;
+  blocked_ett ett(n, /*seed=*/0xd1e);
+  ASSERT_TRUE(ett.supports_relaxed_reads());
+  ett.bind_read_epochs(&em);
+
+  std::atomic<uint64_t> version{0};  // odd while a batch is in flight
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> recorded{0};
+
+  std::vector<std::vector<served_record>> recs(readers);
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(readers);
+  for (size_t t = 0; t < readers; ++t) {
+    pool_threads.emplace_back([&, t] {
+      random_stream rng(hash_combine(0x96e4, t));
+      auto& buf = recs[t];
+      while (!stop.load(std::memory_order_acquire)) {
+        auto guard = em.pin();
+        uint64_t v1 = version.load(std::memory_order_acquire);
+        if (v1 & 1) continue;
+        auto u = static_cast<vertex_id>(rng.next(n));
+        auto v = static_cast<vertex_id>(rng.next(n));
+        std::optional<bool> ans = ett.connected_relaxed(u, v);
+        ASSERT_TRUE(ans.has_value());
+        if (version.load(std::memory_order_acquire) != v1) continue;
+        buf.push_back({u, v, v1 >> 1, *ans});
+        recorded.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  std::unordered_set<uint64_t> edges;
+  std::vector<std::vector<vertex_id>> states;
+  states.push_back(oracle_labels(n, edges));
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<edge> links;
+    const auto base = static_cast<vertex_id>(r * kRegion);
+    for (vertex_id i = 0; i + 1 < kRegion; ++i)
+      links.push_back(edge{base + i, base + i + 1}.canonical());
+    std::vector<edge> cuts;
+    if (r >= 2) {
+      const auto old = static_cast<vertex_id>((r - 2) * kRegion);
+      for (vertex_id i = 0; i + 1 < kRegion; ++i)
+        cuts.push_back(edge{old + i, old + i + 1}.canonical());
+    }
+
+    em.begin_write();
+    version.fetch_add(1, std::memory_order_acq_rel);  // -> odd
+    ett.batch_link(links);
+    if (!cuts.empty()) ett.batch_cut(cuts);
+    version.fetch_add(1, std::memory_order_release);  // -> even
+    em.advance();
+    em.end_write();
+    ett.drain_limbo();
+
+    for (const edge& e : links) edges.insert(edge_key(e));
+    for (const edge& e : cuts) edges.erase(edge_key(e));
+    states.push_back(oracle_labels(n, edges));
+  }
+  while (recorded.load(std::memory_order_acquire) < readers)
+    std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool_threads) th.join();
+
+  verify_records(recs, states, "blocked_ett directory growth");
+  EXPECT_TRUE(ett.check_consistency().empty());
+  // Only the two newest regions are still linked; everything older was
+  // deactivated and its chunks reclaimed.
+  EXPECT_LE(ett.active_vertices(), 2u * kRegion);
+  ett.drain_limbo();
+  ett.bind_read_epochs(nullptr);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Workers, BlockedRelaxedReads, ::testing::Values(2u, 0u),
     [](const ::testing::TestParamInfo<unsigned>& info) {

@@ -27,7 +27,11 @@ timing noise, so a change beyond the threshold in EITHER direction is
 flagged ``CHANGED`` for a human to read — a dropped cache-hit count and
 a doubled full-walk count both deserve eyes, but neither should gate a
 merge on its own. Keyed by ``label/metric``; histograms compare their
-``count``.
+``count``. Gauges flow through unchanged, which makes the memory
+footprint gauges (``levels.materialized`` / ``levels.active_vertices``
+/ ``levels.bytes``, plus the ``pool.*`` retention set) diffable across
+CI runs the same way — a silent return to O(n)-per-level allocation
+shows up here as a ``levels.bytes`` jump on the committed trace.
 
 History files are consumed in sorted-name order (CI names them by run
 number, so sorted order is chronological); only the last ``--median-of``

@@ -449,6 +449,11 @@ void print_report(const char* name, const replay_report& r) {
 std::string g_metrics_path;
 std::string g_trace_path;
 
+// --assert-gauge-max=NAME:MAX budget assertions, checked against every
+// reported snapshot (CI smoke tests pin e.g. levels.bytes this way).
+std::vector<std::pair<std::string, int64_t>> g_gauge_max;
+int g_gauge_asserts_failed = 0;
+
 /// Replay wall times join the snapshot so the span breakdown can be
 /// checked against them (tools/check_telemetry.py asserts the batch
 /// spans sum to within 10% of these).
@@ -471,6 +476,21 @@ void report_metrics(const std::string& label, obs::metrics_snapshot snap) {
                    std::make_move_iterator(reg.rows.end()));
   snap.sort();
   obs::export_text(stdout, snap);
+  for (const auto& [gauge_name, limit] : g_gauge_max) {
+    const obs::metric_row* row = snap.find(gauge_name);
+    if (row == nullptr) {
+      std::fprintf(stderr,
+                   "--assert-gauge-max: gauge '%s' not reported by %s\n",
+                   gauge_name.c_str(), label.c_str());
+      ++g_gauge_asserts_failed;
+    } else if (row->value > limit) {
+      std::fprintf(stderr,
+                   "--assert-gauge-max: %s = %" PRId64
+                   " exceeds budget %" PRId64 " in %s\n",
+                   gauge_name.c_str(), row->value, limit, label.c_str());
+      ++g_gauge_asserts_failed;
+    }
+  }
   if (!g_metrics_path.empty()) {
     std::ofstream out(g_metrics_path, std::ios::app);
     if (!out) {
@@ -661,7 +681,7 @@ int self_demo(unsigned serve_threads, publish_mode pub) {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage:\n"
-               "  %s gen [--stream=deletion|mixed|window] "
+               "  %s gen [--stream=deletion|mixed|window|hub] "
                "<erdos|rmat|grid> <n> <m> <batch> <seed> <out>\n"
                "  %s run [--engine=auto|dynamic|dynamic-simple|"
                "dynamic-scanall|hdt|static|incremental] "
@@ -670,6 +690,7 @@ int usage(const char* prog) {
                "[--dispatch=static|virtual] [--workers=N] "
                "[--serve-queries=T] [--publish=incremental|full] "
                "[--metrics=FILE] [--trace=FILE] "
+               "[--assert-gauge-max=NAME:MAX] "
                "[--check] <stream-file>\n"
                "  %s                (self-demo; flags apply)\n",
                prog, prog, prog);
@@ -680,6 +701,7 @@ int usage(const char* prog) {
 /// reader thread has been joined, so the recorder's quiescence
 /// requirement holds.
 int finish_run(int rc) {
+  if (g_gauge_asserts_failed != 0 && rc == 0) rc = 1;
   obs::trace_recorder& tr = obs::trace_recorder::global();
   if (g_trace_path.empty() || !tr.active()) return rc;
   tr.disable();
@@ -798,12 +820,32 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--stream=", 0) == 0) {
       stream_kind = a.substr(9);
       if (stream_kind != "deletion" && stream_kind != "mixed" &&
-          stream_kind != "window") {
+          stream_kind != "window" && stream_kind != "hub") {
         std::fprintf(stderr,
-                     "bad --stream value '%s' (want deletion|mixed|window)\n",
+                     "bad --stream value '%s' "
+                     "(want deletion|mixed|window|hub)\n",
                      stream_kind.c_str());
         return 2;
       }
+    } else if (a.rfind("--assert-gauge-max=", 0) == 0) {
+      std::string spec = a.substr(19);
+      size_t colon = spec.rfind(':');
+      int64_t limit = 0;
+      bool ok = colon != std::string::npos && colon > 0;
+      if (ok) {
+        char* end = nullptr;
+        errno = 0;
+        limit = std::strtoll(spec.c_str() + colon + 1, &end, 10);
+        ok = errno == 0 && end != spec.c_str() + colon + 1 && *end == '\0';
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "bad --assert-gauge-max value '%s' "
+                     "(want <gauge-name>:<max>, e.g. levels.bytes:1000000)\n",
+                     spec.c_str());
+        return 2;
+      }
+      g_gauge_max.push_back({spec.substr(0, colon), limit});
     } else if (a.rfind("--metrics=", 0) == 0) {
       g_metrics_path = a.substr(10);
       if (g_metrics_path.empty()) {
@@ -869,6 +911,9 @@ int main(int argc, char** argv) {
     } else if (stream_kind == "window") {
       stream = make_sliding_window_stream(graph, std::max<size_t>(1, m / 2),
                                           batch, seed + 1);
+    } else if (stream_kind == "hub") {
+      stream = make_hub_churn_stream(graph, n, batch, /*rounds=*/3,
+                                     seed + 1);
     } else {
       stream =
           make_deletion_stream(graph, n, batch, batch, batch / 4, seed + 1);
